@@ -1,0 +1,63 @@
+"""Incremental day-level training (paper §V-C) — stability and cost.
+
+The paper replaces full-window retraining with day-level incremental
+training plus an LRU feature-exit mechanism, reporting (a) large
+savings in training time and (b) day-over-day metric stability.  This
+bench trains one model from scratch on day 0, then runs incremental
+days 1-3 at a fraction of the step budget, tracking next-day AUC and
+evicted features.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import scaled_steps, write_report
+from repro.evaluation import next_auc
+from repro.graph import build_graph
+from repro.models import make_model
+from repro.training import IncrementalTrainer, Trainer, TrainerConfig
+
+
+def test_incremental_training_stability(benchmark, bench_data):
+    def run():
+        logs = bench_data.simulator.simulate_days(5, start_day=40)
+        graph0 = build_graph(bench_data.universe, logs[:1])
+        model = make_model("amcad", graph0, num_subspaces=2, subspace_dim=4,
+                           seed=0)
+        full_steps = scaled_steps(300)
+        scratch = Trainer(model, TrainerConfig(
+            steps=full_steps, batch_size=64, learning_rate=0.05)).train()
+
+        incremental = IncrementalTrainer(
+            model, bench_data.universe,
+            steps_per_day=max(10, full_steps // 6), lru_horizon_days=2,
+            trainer_config=TrainerConfig(batch_size=64, learning_rate=0.05))
+
+        lines = ["day 0 (scratch): %d steps, %.1fs"
+                 % (full_steps, scratch.wall_seconds)]
+        aucs = []
+        for day in range(1, 4):
+            result = incremental.train_day(logs[day])
+            eval_graph = build_graph(bench_data.universe, logs[day + 1:day + 2])
+            auc = next_auc(model.similarity, eval_graph, num_samples=300)
+            aucs.append(auc)
+            lines.append("day %d (incremental): %d steps, %.1fs, "
+                         "next-day AUC %.2f, evicted %d features"
+                         % (day, result.report.steps,
+                            result.report.wall_seconds, auc,
+                            result.evicted_features))
+
+        # shape: incremental days are much cheaper than scratch and the
+        # metric stays smooth (paper: "relatively smooth every day")
+        day_cost = np.mean([r.report.wall_seconds
+                            for r in incremental.history])
+        assert day_cost < scratch.wall_seconds
+        assert max(aucs) - min(aucs) < 12.0, "day-over-day AUC should be smooth"
+        lines.append("")
+        lines.append("paper: incremental training keeps daily metrics smooth "
+                     "while avoiding full-window retraining")
+        write_report("incremental.txt",
+                     "Incremental training - cost and stability", lines)
+        return aucs
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

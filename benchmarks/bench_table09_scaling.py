@@ -1,0 +1,55 @@
+"""Table IX — training runtime vs graph size.
+
+The paper trains on windows of 1 hour / 1 / 3 / 7 days (0.18B → 30.8B
+edges) and finds total runtime near-linear in the number of edges (one
+epoch's iteration count is proportional to data volume).  Here windows
+of 1/2/4/7 synthetic days are trained with an iteration budget
+proportional to edge count, and the report checks linearity of
+seconds-per-edge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import load_dataset, scaled_steps, write_report
+from repro.graph import build_graph
+from repro.models import make_model
+from repro.training import Trainer, TrainerConfig
+
+WINDOWS = (1, 2, 4, 7)
+STEPS_PER_MILLION_EDGE_WEIGHT = 6  # iterations ∝ data volume, as deployed
+
+
+def test_table09_runtime_scaling(benchmark, bench_data):
+    def run():
+        lines = ["%-8s %10s %12s %12s %14s" % (
+            "window", "#edges", "#steps", "runtime(s)", "us per edge")]
+        rows = []
+        logs = bench_data.simulator.simulate_days(7, start_day=20)
+        for days in WINDOWS:
+            graph = build_graph(bench_data.universe, logs[:days])
+            edges = graph.num_edges()
+            steps = scaled_steps(max(20, edges // 1500))
+            model = make_model("amcad", graph, num_subspaces=2,
+                               subspace_dim=4, seed=0)
+            report = Trainer(model, TrainerConfig(
+                steps=steps, batch_size=64, learning_rate=0.05)).train()
+            rows.append((days, edges, steps, report.wall_seconds))
+            lines.append("%-8s %10d %12d %12.1f %14.2f" % (
+                "%dd" % days, edges, steps, report.wall_seconds,
+                1e6 * report.wall_seconds / edges))
+
+        # shape: runtime grows with edges, roughly linearly — the
+        # normalised cost of the largest window stays within 2.5x of
+        # the smallest (paper: near-constant seconds/edge)
+        per_edge = [r[3] / r[1] for r in rows]
+        assert rows[-1][3] > rows[0][3]
+        assert max(per_edge) / min(per_edge) < 2.5, per_edge
+        lines.append("")
+        lines.append("paper (Table IX): 0.5h/6.2h/17.3h/35h for "
+                     "0.18B/5.3B/16.1B/30.8B edges — near-linear")
+        write_report("table09_scaling.txt",
+                     "Table IX - training runtime vs graph size", lines)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

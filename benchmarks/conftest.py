@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+All benches run one full pipeline per benchmark round (training is the
+payload, not a micro-op), so rounds/iterations are pinned to 1 via
+``benchmark.pedantic`` inside each bench.
+"""
+
+import pytest
+
+from repro.bench import load_dataset
+
+
+@pytest.fixture(scope="session")
+def bench_data():
+    """The shared simulated platform (cached across benches)."""
+    return load_dataset()

@@ -1,0 +1,55 @@
+"""Day-level incremental training with LRU feature exit (paper §V-C).
+
+Trains a model from scratch on day 0, then continues it incrementally
+on days 1-4 at a fraction of the step budget, reporting per-day
+training cost, next-day AUC stability and feature-exit statistics.
+
+Usage::
+
+    python examples/incremental_training.py
+"""
+
+from repro.data import SimulatorConfig, SponsoredSearchSimulator
+from repro.evaluation import next_auc
+from repro.graph import build_graph
+from repro.models import make_model
+from repro.training import IncrementalTrainer, Trainer, TrainerConfig
+
+
+def main():
+    simulator = SponsoredSearchSimulator(SimulatorConfig(seed=31))
+    logs = simulator.simulate_days(6)
+
+    graph0 = build_graph(simulator.universe, logs[:1])
+    model = make_model("amcad", graph0, num_subspaces=2, subspace_dim=4,
+                       seed=0)
+    print("day 0: training from scratch on %r" % graph0)
+    scratch = Trainer(model, TrainerConfig(steps=240, batch_size=64,
+                                           learning_rate=0.05)).train()
+    eval_graph = build_graph(simulator.universe, logs[1:2])
+    print("  %.1fs, next-day AUC %.2f"
+          % (scratch.wall_seconds,
+             next_auc(model.similarity, eval_graph, num_samples=300)))
+
+    incremental = IncrementalTrainer(
+        model, simulator.universe, steps_per_day=40, lru_horizon_days=2,
+        trainer_config=TrainerConfig(batch_size=64, learning_rate=0.05))
+
+    for day in range(1, 5):
+        result = incremental.train_day(logs[day])
+        eval_graph = build_graph(simulator.universe, logs[day + 1:day + 2])
+        auc = next_auc(model.similarity, eval_graph, num_samples=300)
+        print("day %d: incremental %.1fs (%.0f%% of scratch), "
+              "next-day AUC %.2f, evicted %d stale features "
+              "(%d active rows)"
+              % (day, result.report.wall_seconds,
+                 100 * result.report.wall_seconds / scratch.wall_seconds,
+                 auc, result.evicted_features, result.active_features))
+
+    print("\npaper: metrics stay 'relatively smooth every day' under "
+          "day-level incremental training; the LRU feature exit keeps "
+          "the model from growing without bound.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""AMCAD reproduction — adaptive mixed-curvature ad retrieval.
+
+A full reimplementation of *AMCAD: Adaptive Mixed-Curvature
+Representation based Advertisement Retrieval System* (ICDE 2022),
+including every substrate: a numpy autodiff engine, κ-stereographic
+geometry, a heterogeneous graph engine, a sponsored-search behaviour
+simulator, the AMCAD model plus fourteen baselines, the training stack,
+and the MNN / two-layer online retrieval system.
+
+Typical usage::
+
+    from repro.data import SponsoredSearchSimulator, SimulatorConfig
+    from repro.graph import build_graph
+    from repro.models import make_model
+    from repro.training import Trainer, TrainerConfig
+    from repro.retrieval import IndexSet, TwoLayerRetriever
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autodiff",
+    "geometry",
+    "graph",
+    "data",
+    "models",
+    "training",
+    "retrieval",
+    "evaluation",
+    "io",
+    "bench",
+]

@@ -1,0 +1,200 @@
+"""Shared harness for the paper-reproduction benchmarks.
+
+Each ``benchmarks/bench_*.py`` regenerates one table or figure of the
+paper.  This module centralises:
+
+- the benchmark dataset (one simulated platform, cached per process);
+- the standard train-then-evaluate pipeline for a named model;
+- result formatting/persistence (every bench writes a text report next
+  to the benchmark code under ``benchmarks/results/``).
+
+Scale control: the environment variable ``REPRO_BENCH_SCALE`` (float,
+default 1.0) multiplies training step counts, so ``REPRO_BENCH_SCALE=0.2
+pytest benchmarks/`` gives a fast smoke pass and ``=3`` a higher-fidelity
+run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import os
+import pathlib
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data import SimulatorConfig, SponsoredSearchSimulator
+from repro.data.logs import BehaviorLog, merge_logs
+from repro.evaluation import (
+    evaluate_ranking,
+    ground_truth_from_log,
+    next_auc,
+)
+from repro.graph import build_graph
+from repro.graph.hetgraph import HetGraph
+from repro.graph.schema import NodeType, Relation
+from repro.models import make_baseline, make_model
+from repro.retrieval import IndexSet
+from repro.training import Trainer, TrainerConfig
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+#: Benchmark-wide model geometry (the paper: M=2 subspaces, 120 dims
+#: total on 100M nodes; here M=2 x 8 dims on ~3.4k nodes).
+NUM_SUBSPACES = 2
+SUBSPACE_DIM = 4
+TRAIN_STEPS = 200
+BATCH_SIZE = 64
+LEARNING_RATE = 0.05
+EVAL_QUERIES = 150
+AUC_SAMPLES = 400
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled_steps(steps: int) -> int:
+    return max(10, int(round(steps * bench_scale())))
+
+
+@dataclasses.dataclass
+class BenchDataset:
+    """The simulated platform shared by all benches."""
+
+    simulator: SponsoredSearchSimulator
+    logs: List[BehaviorLog]
+    train_graph: HetGraph
+    next_graph: HetGraph
+    truth_items: Dict[int, List[int]]
+    truth_ads: Dict[int, List[int]]
+
+    @property
+    def universe(self):
+        return self.simulator.universe
+
+
+@functools.lru_cache(maxsize=2)
+def load_dataset(days: int = 2, seed: int = 3) -> BenchDataset:
+    """Build (and cache) the benchmark dataset.
+
+    Day 0 is the training day (paper: 1-day logs for offline eval);
+    day 1 is the next-day evaluation graph.
+    """
+    simulator = SponsoredSearchSimulator(SimulatorConfig(seed=seed))
+    logs = simulator.simulate_days(days)
+    train_graph = build_graph(simulator.universe, logs[:1])
+    next_graph = build_graph(simulator.universe, logs[1:2])
+    return BenchDataset(
+        simulator=simulator,
+        logs=logs,
+        train_graph=train_graph,
+        next_graph=next_graph,
+        truth_items=ground_truth_from_log(logs[1], NodeType.ITEM),
+        truth_ads=ground_truth_from_log(logs[1], NodeType.AD),
+    )
+
+
+@dataclasses.dataclass
+class ModelResult:
+    """Table VI row: metrics for one trained model."""
+
+    name: str
+    next_auc: float
+    train_seconds: float
+    q2i: Dict[str, float]
+    q2a: Dict[str, float]
+
+    def row(self) -> str:
+        return ("%-14s auc %6.2f  time %6.1fs  "
+                "Q2I hr@10 %5.2f hr@100 %5.2f ndcg@100 %5.2f  "
+                "Q2A hr@10 %5.2f hr@100 %5.2f ndcg@100 %5.2f" % (
+                    self.name, self.next_auc, self.train_seconds,
+                    self.q2i["hr@10"], self.q2i["hr@100"],
+                    self.q2i["ndcg@100"],
+                    self.q2a["hr@10"], self.q2a["hr@100"],
+                    self.q2a["ndcg@100"]))
+
+
+def train_geometric_model(name: str, data: BenchDataset, *,
+                          steps: Optional[int] = None, seed: int = 1,
+                          num_subspaces: int = NUM_SUBSPACES,
+                          subspace_dim: int = SUBSPACE_DIM,
+                          **model_overrides):
+    """Train one AMCAD-family model on the benchmark graph."""
+    model = make_model(name, data.train_graph, num_subspaces=num_subspaces,
+                       subspace_dim=subspace_dim, seed=seed,
+                       **model_overrides)
+    config = TrainerConfig(steps=scaled_steps(steps or TRAIN_STEPS),
+                           batch_size=BATCH_SIZE,
+                           learning_rate=LEARNING_RATE, seed=seed)
+    report = Trainer(model, config).train()
+    return model, report
+
+
+def evaluate_geometric_model(model, data: BenchDataset,
+                             train_seconds: float,
+                             name: str) -> ModelResult:
+    """Standard Table VI evaluation: Next AUC + Q2I/Q2A rankings."""
+    index_set = IndexSet(model, top_k=300).build(
+        [Relation.Q2I, Relation.Q2A])
+    q2i = evaluate_ranking(
+        lambda q, k: index_set[Relation.Q2I].lookup_batch(q, k)[0],
+        data.truth_items, ks=(10, 100, 300), max_queries=EVAL_QUERIES)
+    q2a = evaluate_ranking(
+        lambda q, k: index_set[Relation.Q2A].lookup_batch(q, k)[0],
+        data.truth_ads, ks=(10, 100, 300), max_queries=EVAL_QUERIES)
+    auc = next_auc(model.similarity, data.next_graph,
+                   num_samples=AUC_SAMPLES)
+    return ModelResult(name=name, next_auc=auc, train_seconds=train_seconds,
+                       q2i=q2i.row(), q2a=q2a.row())
+
+
+def run_geometric_model(name: str, data: BenchDataset, *,
+                        steps: Optional[int] = None, seed: int = 1,
+                        **overrides) -> ModelResult:
+    model, report = train_geometric_model(name, data, steps=steps, seed=seed,
+                                          **overrides)
+    return evaluate_geometric_model(model, data, report.wall_seconds, name)
+
+
+def run_skipgram_baseline(name: str, data: BenchDataset, *,
+                          num_pairs: int = 30000, seed: int = 1,
+                          dim: Optional[int] = None) -> ModelResult:
+    """Train + evaluate a walk baseline with the same metric suite."""
+    dim = dim or NUM_SUBSPACES * SUBSPACE_DIM
+    model = make_baseline(name, data.train_graph, dim=dim, seed=seed)
+    start = time.perf_counter()
+    model.train(int(num_pairs * bench_scale()))
+    train_seconds = time.perf_counter() - start
+
+    def make_retrieve(target_type):
+        q_emb = model.embed(NodeType.QUERY)
+        t_emb = model.embed(target_type)
+
+        def retrieve(queries, k):
+            scores = q_emb[np.asarray(queries)] @ t_emb.T
+            return np.argsort(-scores, axis=1)[:, :k]
+
+        return retrieve
+
+    q2i = evaluate_ranking(make_retrieve(NodeType.ITEM), data.truth_items,
+                           ks=(10, 100, 300), max_queries=EVAL_QUERIES)
+    q2a = evaluate_ranking(make_retrieve(NodeType.AD), data.truth_ads,
+                           ks=(10, 100, 300), max_queries=EVAL_QUERIES)
+    auc = next_auc(model.similarity, data.next_graph,
+                   num_samples=AUC_SAMPLES)
+    return ModelResult(name=name, next_auc=auc, train_seconds=train_seconds,
+                       q2i=q2i.row(), q2a=q2a.row())
+
+
+def write_report(filename: str, title: str, lines: Sequence[str]) -> pathlib.Path:
+    """Persist a bench report and echo it to stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / filename
+    body = "\n".join(["# %s" % title, ""] + list(lines)) + "\n"
+    path.write_text(body)
+    print("\n" + body)
+    return path

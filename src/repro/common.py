@@ -1,0 +1,4 @@
+"""Shared constants used across packages."""
+
+#: Padding id for variable-length categorical feature slots (e.g. terms).
+PAD = -1

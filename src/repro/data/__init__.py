@@ -1,0 +1,30 @@
+"""Synthetic sponsored-search behaviour data.
+
+The paper's graphs are built from proprietary Taobao user-behaviour
+logs (Table V: 40M queries / 60M items / 6M ads for one day).  This
+package provides the substitute: a generative simulator of an
+e-commerce sponsored-search platform that produces behaviour logs with
+the same *structural* properties the paper exploits —
+
+- a category taxonomy inducing a hierarchical (tree-like) query space,
+- dense co-click clusters among items/ads of one leaf category
+  (cyclic structure),
+- advertiser keyword bidding that links ads in co-bid rings,
+- day-over-day logs enabling next-day evaluation and incremental
+  training.
+"""
+
+from repro.data.universe import AdCatalog, ItemCatalog, QueryCatalog, Universe
+from repro.data.logs import BehaviorLog, Session
+from repro.data.synthetic import SimulatorConfig, SponsoredSearchSimulator
+
+__all__ = [
+    "Universe",
+    "QueryCatalog",
+    "ItemCatalog",
+    "AdCatalog",
+    "Session",
+    "BehaviorLog",
+    "SimulatorConfig",
+    "SponsoredSearchSimulator",
+]

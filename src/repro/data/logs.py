@@ -1,0 +1,75 @@
+"""Behaviour-log records.
+
+A :class:`Session` is one user search: the posed query and the ordered
+sequence of clicked products (items and ads interleaved, as in paper
+Fig. 4 where a user clicks ``i1, a1, a2`` under ``q1``).  A
+:class:`BehaviorLog` is a day's worth of sessions; multi-day windows
+are lists of logs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.graph.schema import NodeRef, NodeType
+
+
+@dataclasses.dataclass
+class Session:
+    """One search interaction: user, query, ordered clicks."""
+
+    user: int
+    query: int
+    clicks: List[NodeRef]
+
+    def clicked_of_type(self, node_type: NodeType) -> List[int]:
+        return [ref.index for ref in self.clicks if ref.node_type == node_type]
+
+
+@dataclasses.dataclass
+class BehaviorLog:
+    """All sessions of one day, ordered per user.
+
+    Sessions of the same user on the same day appear consecutively, so
+    consecutive sessions of one user yield query-to-query co-click
+    (co-search) edges.
+    """
+
+    day: int
+    sessions: List[Session]
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    def __iter__(self) -> Iterator[Session]:
+        return iter(self.sessions)
+
+    def user_session_runs(self) -> Iterator[List[Session]]:
+        """Yield maximal runs of consecutive sessions by the same user."""
+        run: List[Session] = []
+        for session in self.sessions:
+            if run and session.user != run[-1].user:
+                yield run
+                run = []
+            run.append(session)
+        if run:
+            yield run
+
+    def click_counts(self) -> dict:
+        """``(query, NodeRef) -> click count`` — ground truth for eval."""
+        counts: dict = {}
+        for session in self.sessions:
+            for ref in session.clicks:
+                key = (session.query, ref)
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+def merge_logs(logs: Sequence[BehaviorLog]) -> BehaviorLog:
+    """Concatenate several daily logs into one window (paper's 7-day log)."""
+    sessions: List[Session] = []
+    for log in logs:
+        sessions.extend(log.sessions)
+    last_day = logs[-1].day if logs else 0
+    return BehaviorLog(day=last_day, sessions=sessions)

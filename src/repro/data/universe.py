@@ -1,0 +1,147 @@
+"""Static entity catalogues: the queries, items and ads of the platform.
+
+The *universe* is everything that exists independently of user
+behaviour: the category tree, term vocabulary, and per-entity features
+(paper Table IV).  Behaviour logs (sessions of queries and clicks) are
+generated over a universe by the simulator and consumed by the graph
+builder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+import numpy as np
+
+from repro.common import PAD
+from repro.graph.category import CategoryTree
+from repro.graph.schema import NodeType
+
+
+@dataclasses.dataclass
+class QueryCatalog:
+    """Query entities: category (any tree depth — broad to specific) + terms."""
+
+    category: np.ndarray          # (n,) category-tree node id
+    terms: np.ndarray             # (n, t) term ids, PAD-filled
+
+    def __len__(self) -> int:
+        return self.category.shape[0]
+
+
+@dataclasses.dataclass
+class ItemCatalog:
+    """Organic product entities (paper Table IV: ID, category, title, brand, shop).
+
+    ``style_angle`` places each item on its leaf category's *style ring*
+    (paper Fig. 1's cyclic structure): within a leaf, users browse
+    angular neighbourhoods — e.g. a price/style spectrum that wraps
+    around — so item-item co-click similarity is ring distance.
+    """
+
+    category: np.ndarray          # (n,) leaf category id
+    terms: np.ndarray             # (n, t) title term ids
+    brand: np.ndarray             # (n,)
+    shop: np.ndarray              # (n,)
+    popularity: np.ndarray        # (n,) relative click attractiveness
+    style_angle: np.ndarray       # (n,) position on the leaf's style ring
+
+    def __len__(self) -> int:
+        return self.category.shape[0]
+
+
+@dataclasses.dataclass
+class AdCatalog:
+    """Sponsored product entities; ads additionally carry bid keywords."""
+
+    category: np.ndarray          # (n,) leaf category id
+    terms: np.ndarray             # (n, t) title term ids
+    bid_words: np.ndarray         # (n, b) bid keyword ids (shared term vocab)
+    brand: np.ndarray             # (n,)
+    shop: np.ndarray              # (n,)
+    popularity: np.ndarray        # (n,)
+    style_angle: np.ndarray       # (n,) position on the leaf's style ring
+    price_per_click: np.ndarray   # (n,) advertiser bid in currency units
+
+    def __len__(self) -> int:
+        return self.category.shape[0]
+
+
+@dataclasses.dataclass
+class Universe:
+    """All static entities plus vocabulary sizes for feature embedding."""
+
+    category_tree: CategoryTree
+    queries: QueryCatalog
+    items: ItemCatalog
+    ads: AdCatalog
+    vocab_size: int
+    num_brands: int
+    num_shops: int
+
+    def num_nodes(self) -> Dict[NodeType, int]:
+        return {
+            NodeType.QUERY: len(self.queries),
+            NodeType.ITEM: len(self.items),
+            NodeType.AD: len(self.ads),
+        }
+
+    def categories(self) -> Dict[NodeType, np.ndarray]:
+        return {
+            NodeType.QUERY: self.queries.category,
+            NodeType.ITEM: self.items.category,
+            NodeType.AD: self.ads.category,
+        }
+
+    def features(self) -> Dict[NodeType, Dict[str, np.ndarray]]:
+        """Feature fields per node type, as in paper Table IV."""
+        n_q, n_i, n_a = len(self.queries), len(self.items), len(self.ads)
+        return {
+            NodeType.QUERY: {
+                "id": np.arange(n_q),
+                "category": self.queries.category,
+                "terms": self.queries.terms,
+            },
+            NodeType.ITEM: {
+                "id": np.arange(n_i),
+                "category": self.items.category,
+                "terms": self.items.terms,
+                "brand": self.items.brand,
+                "shop": self.items.shop,
+            },
+            NodeType.AD: {
+                "id": np.arange(n_a),
+                "category": self.ads.category,
+                "terms": self.ads.terms,
+                "bid_words": self.ads.bid_words,
+                "brand": self.ads.brand,
+                "shop": self.ads.shop,
+            },
+        }
+
+    def feature_vocab_sizes(self) -> Dict[NodeType, Dict[str, int]]:
+        """Vocabulary size per feature field (for embedding tables)."""
+        n_cat = len(self.category_tree)
+        return {
+            NodeType.QUERY: {
+                "id": len(self.queries),
+                "category": n_cat,
+                "terms": self.vocab_size,
+            },
+            NodeType.ITEM: {
+                "id": len(self.items),
+                "category": n_cat,
+                "terms": self.vocab_size,
+                "brand": self.num_brands,
+                "shop": self.num_shops,
+            },
+            NodeType.AD: {
+                "id": len(self.ads),
+                "category": n_cat,
+                "terms": self.vocab_size,
+                "bid_words": self.vocab_size,
+                "brand": self.num_brands,
+                "shop": self.num_shops,
+            },
+        }

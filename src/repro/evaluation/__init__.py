@@ -1,0 +1,31 @@
+"""Evaluation: offline metrics (paper §VI-A-4) and the online A/B simulator.
+
+- :mod:`repro.evaluation.metrics` — Next AUC (AUC on the next day's
+  graph), Hitrate@K and nDCG@K against click-count-sorted ground truth;
+- :mod:`repro.evaluation.ab_test` — simulated online traffic comparing
+  two retrieval channels on CTR and RPM per result page (paper Table X).
+"""
+
+from repro.evaluation.metrics import (
+    RankingMetrics,
+    auc_from_scores,
+    evaluate_ranking,
+    ground_truth_from_log,
+    hitrate_at_k,
+    ndcg_at_k,
+    next_auc,
+)
+from repro.evaluation.ab_test import ABTestConfig, ABTestResult, run_ab_test
+
+__all__ = [
+    "auc_from_scores",
+    "next_auc",
+    "hitrate_at_k",
+    "ndcg_at_k",
+    "evaluate_ranking",
+    "ground_truth_from_log",
+    "RankingMetrics",
+    "ABTestConfig",
+    "ABTestResult",
+    "run_ab_test",
+]

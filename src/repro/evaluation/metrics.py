@@ -1,0 +1,211 @@
+"""Offline evaluation metrics (paper §VI-A-4).
+
+The paper trains on one day's graph and evaluates on the next day's:
+
+- **Next AUC** — area under the ROC curve for link prediction on
+  next-day edges against sampled non-edges;
+- **Hitrate@K / nDCG@K** — per query, the ground truth is the item/ad
+  list sorted by next-day click count; a retrieval function supplies
+  the model's top-K and is scored against that list.
+
+Models plug in through two small protocols:
+
+- a *similarity function* ``sim(relation, src_idx, dst_idx) -> array``
+  (both :class:`~repro.models.amcad.AMCAD` and the skip-gram baselines
+  provide ``.similarity`` with this shape);
+- a *retrieval function* ``retrieve(relation, src_idx, k) -> (ids, scores)``
+  (provided by the MNN index layer).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.data.logs import BehaviorLog
+from repro.graph.hetgraph import HetGraph
+from repro.graph.schema import NodeType, Relation
+
+
+def _as_numpy(values) -> np.ndarray:
+    if isinstance(values, Tensor):
+        return values.data
+    return np.asarray(values)
+
+
+def auc_from_scores(positive: np.ndarray, negative: np.ndarray) -> float:
+    """Exact AUC via the Mann-Whitney rank statistic."""
+    positive = np.asarray(positive, dtype=np.float64)
+    negative = np.asarray(negative, dtype=np.float64)
+    if positive.size == 0 or negative.size == 0:
+        return float("nan")
+    scores = np.concatenate([positive, negative])
+    ranks = np.empty(scores.size)
+    order = np.argsort(scores, kind="stable")
+    sorted_scores = scores[order]
+    # average ranks for ties
+    ranks[order] = np.arange(1, scores.size + 1)
+    unique, start = np.unique(sorted_scores, return_index=True)
+    if unique.size != scores.size:
+        boundaries = np.append(start, scores.size)
+        for i in range(unique.size):
+            lo, hi = boundaries[i], boundaries[i + 1]
+            if hi - lo > 1:
+                ranks[order[lo:hi]] = 0.5 * (lo + 1 + hi)
+    rank_sum = ranks[:positive.size].sum()
+    n_pos, n_neg = positive.size, negative.size
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def _positive_edges(graph: HetGraph, relation: Relation,
+                    rng: np.random.Generator,
+                    num_samples: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample edges of the relation (any edge type) from a graph."""
+    srcs, dsts, weights = [], [], []
+    src_type, dst_type = relation.source_type, relation.target_type
+    for (s, _e, d), csr in graph._adj.items():
+        if s != src_type or d != dst_type:
+            continue
+        n_src = graph.num_nodes[s]
+        srcs.append(np.repeat(np.arange(n_src), np.diff(csr.indptr)))
+        dsts.append(csr.indices)
+        weights.append(csr.weights)
+    if not srcs:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    weight = np.concatenate(weights)
+    if src.size <= num_samples:
+        return src, dst
+    probs = weight / weight.sum()
+    picks = rng.choice(src.size, size=num_samples, replace=False, p=probs)
+    return src[picks], dst[picks]
+
+
+def next_auc(similarity: Callable, next_graph: HetGraph,
+             relations: Optional[Sequence[Relation]] = None,
+             num_samples: int = 500, seed: int = 0) -> float:
+    """Next-day link-prediction AUC averaged over relations (×100).
+
+    For each relation, positive pairs are edges of the *next day's*
+    graph and negatives are random pairs of the same types; scores come
+    from ``similarity(relation, src, dst)``.  Returned on the paper's
+    0–100 scale.
+    """
+    rng = np.random.default_rng(seed)
+    relations = list(relations or [Relation.Q2I, Relation.Q2A, Relation.Q2Q,
+                                   Relation.I2I])
+    aucs: List[float] = []
+    with no_grad():
+        for relation in relations:
+            src, dst = _positive_edges(next_graph, relation, rng, num_samples)
+            if src.size == 0:
+                continue
+            neg_dst = rng.integers(next_graph.num_nodes[relation.target_type],
+                                   size=src.size)
+            pos_scores = _as_numpy(similarity(relation, src, dst))
+            neg_scores = _as_numpy(similarity(relation, src, neg_dst))
+            auc = auc_from_scores(pos_scores, neg_scores)
+            if not np.isnan(auc):
+                aucs.append(auc)
+    if not aucs:
+        return float("nan")
+    return 100.0 * float(np.mean(aucs))
+
+
+def ground_truth_from_log(log: BehaviorLog,
+                          target_type: NodeType) -> Dict[int, List[int]]:
+    """Per-query relevance lists: targets sorted by next-day click count."""
+    counts: Dict[int, Dict[int, int]] = {}
+    for session in log:
+        for ref in session.clicks:
+            if ref.node_type != target_type:
+                continue
+            counts.setdefault(session.query, {})
+            counts[session.query][ref.index] = \
+                counts[session.query].get(ref.index, 0) + 1
+    truth: Dict[int, List[int]] = {}
+    for query, clicked in counts.items():
+        ranked = sorted(clicked.items(), key=lambda kv: (-kv[1], kv[0]))
+        truth[query] = [idx for idx, _count in ranked]
+    return truth
+
+
+def hitrate_at_k(retrieved: Sequence[int], relevant: Sequence[int],
+                 k: int) -> float:
+    """|top-k ∩ relevant| / |relevant| (the paper's Hitrate definition)."""
+    if not relevant:
+        return float("nan")
+    top = set(list(retrieved)[:k])
+    hits = sum(1 for r in relevant if r in top)
+    return hits / len(relevant)
+
+
+def ndcg_at_k(retrieved: Sequence[int], relevant: Sequence[int],
+              k: int) -> float:
+    """Binary-gain nDCG with the ground-truth order as the ideal ranking."""
+    if not relevant:
+        return float("nan")
+    relevant_set = set(relevant)
+    dcg = 0.0
+    for rank, candidate in enumerate(list(retrieved)[:k]):
+        if candidate in relevant_set:
+            dcg += 1.0 / np.log2(rank + 2)
+    ideal = sum(1.0 / np.log2(rank + 2)
+                for rank in range(min(len(relevant), k)))
+    return dcg / ideal if ideal > 0 else float("nan")
+
+
+@dataclasses.dataclass
+class RankingMetrics:
+    """Hitrate@K and nDCG@K for a set of cutoffs (paper Table VI columns)."""
+
+    hitrate: Dict[int, float]
+    ndcg: Dict[int, float]
+    num_queries: int
+
+    def row(self, scale: float = 100.0) -> Dict[str, float]:
+        """Flat dict on the paper's percentage scale."""
+        out = {}
+        for k, v in self.hitrate.items():
+            out["hr@%d" % k] = scale * v
+        for k, v in self.ndcg.items():
+            out["ndcg@%d" % k] = scale * v
+        return out
+
+
+def evaluate_ranking(retrieve: Callable, truth: Dict[int, List[int]],
+                     ks: Sequence[int] = (10, 100, 300),
+                     max_queries: Optional[int] = None,
+                     seed: int = 0) -> RankingMetrics:
+    """Score a retrieval function against ground-truth lists.
+
+    ``retrieve(query_indices, k) -> (batch, k) candidate ids``; queries
+    with empty truth are skipped.
+    """
+    rng = np.random.default_rng(seed)
+    queries = sorted(truth)
+    if max_queries is not None and len(queries) > max_queries:
+        picks = rng.choice(len(queries), size=max_queries, replace=False)
+        queries = [queries[i] for i in sorted(picks)]
+    if not queries:
+        return RankingMetrics(hitrate={k: float("nan") for k in ks},
+                              ndcg={k: float("nan") for k in ks},
+                              num_queries=0)
+    k_max = max(ks)
+    retrieved = retrieve(np.asarray(queries), k_max)
+    hit = {k: [] for k in ks}
+    ndcg = {k: [] for k in ks}
+    for row, query in enumerate(queries):
+        relevant = truth[query]
+        candidates = list(np.asarray(retrieved[row]).ravel())
+        for k in ks:
+            hit[k].append(hitrate_at_k(candidates, relevant, k))
+            ndcg[k].append(ndcg_at_k(candidates, relevant, k))
+    return RankingMetrics(
+        hitrate={k: float(np.nanmean(hit[k])) for k in ks},
+        ndcg={k: float(np.nanmean(ndcg[k])) for k in ks},
+        num_queries=len(queries))

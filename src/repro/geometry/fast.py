@@ -1,0 +1,88 @@
+"""Pure-numpy inference kernels for mixed-curvature distances.
+
+The MNN index builder (paper §IV-C-1) computes distances from every
+key node to every candidate node — far too many pairs to route through
+the autodiff tape.  These kernels evaluate the κ-stereographic geodesic
+distance between row sets ``X (B,d)`` and ``Y (N,d)`` without ever
+materialising the ``(B,N,d)`` Möbius-sum tensor: the norm of
+``-x ⊕κ y`` expands into inner products, so only ``(B,N)`` scalars are
+formed.  This is the vectorised (SIMD-style) half of the paper's
+two-level parallelism; the data-parallel half lives in
+:mod:`repro.retrieval.mnn`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_KAPPA_ZERO_TOL = 1e-5
+_ARTANH_ARG_MAX = 1.0 - 1e-7
+
+
+def artan_k_numpy(x: np.ndarray, kappa: float) -> np.ndarray:
+    """Scalar-curvature ``tan⁻¹_κ`` on plain arrays."""
+    if kappa < -_KAPPA_ZERO_TOL:
+        s = np.sqrt(-kappa)
+        return np.arctanh(np.clip(s * x, -_ARTANH_ARG_MAX, _ARTANH_ARG_MAX)) / s
+    if kappa > _KAPPA_ZERO_TOL:
+        s = np.sqrt(kappa)
+        return np.arctan(s * x) / s
+    return x - kappa * x ** 3 / 3.0
+
+
+def tan_k_numpy(x: np.ndarray, kappa: float) -> np.ndarray:
+    """Scalar-curvature ``tan_κ`` on plain arrays."""
+    if kappa < -_KAPPA_ZERO_TOL:
+        s = np.sqrt(-kappa)
+        return np.tanh(np.clip(s * x, -15.0, 15.0)) / s
+    if kappa > _KAPPA_ZERO_TOL:
+        s = np.sqrt(kappa)
+        return np.tan(np.clip(s * x, -1.51, 1.51)) / s
+    return x + kappa * x ** 3 / 3.0
+
+
+def pairwise_mobius_norm(x: np.ndarray, y: np.ndarray,
+                         kappa: float) -> np.ndarray:
+    """``‖-x_i ⊕κ y_j‖`` for all (i, j) pairs, shape ``(B, N)``.
+
+    Expansion: with ``a = -x``, the Möbius sum is
+    ``(A·a + B·y) / D`` where ``A = 1 - 2κ⟨a,y⟩ - κ‖y‖²``,
+    ``B = 1 + κ‖a‖²`` and ``D = 1 - 2κ⟨a,y⟩ + κ²‖a‖²‖y‖²``; hence
+    ``‖·‖² = (A²‖a‖² + 2AB⟨a,y⟩ + B²‖y‖²) / D²``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    inner = -(x @ y.T)                      # ⟨-x, y⟩, (B, N)
+    x2 = np.sum(x * x, axis=1)[:, None]     # ‖-x‖² = ‖x‖², (B, 1)
+    y2 = np.sum(y * y, axis=1)[None, :]     # (1, N)
+    coeff_a = 1.0 - 2.0 * kappa * inner - kappa * y2
+    coeff_b = 1.0 + kappa * x2
+    denom = 1.0 - 2.0 * kappa * inner + kappa * kappa * x2 * y2
+    denom = np.where(np.abs(denom) < 1e-15, 1e-15, denom)
+    squared = (coeff_a * coeff_a * x2 + 2.0 * coeff_a * coeff_b * inner
+               + coeff_b * coeff_b * y2)
+    squared = np.maximum(squared, 0.0)
+    return np.sqrt(squared) / np.abs(denom)
+
+
+def pairwise_dist(x: np.ndarray, y: np.ndarray, kappa: float) -> np.ndarray:
+    """Geodesic distance matrix ``d_κ(x_i, y_j)``, shape ``(B, N)``."""
+    return 2.0 * artan_k_numpy(pairwise_mobius_norm(x, y, kappa), kappa)
+
+
+def rowwise_dist(x: np.ndarray, y: np.ndarray, kappa: float) -> np.ndarray:
+    """Aligned row-by-row distance ``d_κ(x_i, y_i)``, shape ``(B,)``."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    inner = -np.sum(x * y, axis=1)
+    x2 = np.sum(x * x, axis=1)
+    y2 = np.sum(y * y, axis=1)
+    coeff_a = 1.0 - 2.0 * kappa * inner - kappa * y2
+    coeff_b = 1.0 + kappa * x2
+    denom = 1.0 - 2.0 * kappa * inner + kappa * kappa * x2 * y2
+    denom = np.where(np.abs(denom) < 1e-15, 1e-15, denom)
+    squared = np.maximum(coeff_a * coeff_a * x2
+                         + 2.0 * coeff_a * coeff_b * inner
+                         + coeff_b * coeff_b * y2, 0.0)
+    norm = np.sqrt(squared) / np.abs(denom)
+    return 2.0 * artan_k_numpy(norm, kappa)

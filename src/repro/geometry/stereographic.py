@@ -1,0 +1,176 @@
+"""κ-stereographic (gyrovector) operations — paper Table II.
+
+The unified model ``U^n_κ`` represents all three constant-curvature
+geometries with one coordinate chart.  Following the paper's convention:
+
+- ``κ < 0`` — hyperbolic space (Poincaré ball of radius ``1/sqrt(-κ)``),
+- ``κ = 0`` — Euclidean space,
+- ``κ > 0`` — spherical space (stereographic projection of the sphere).
+
+The curvature-dependent trigonometry is::
+
+    tan_κ(x)  = tanh(√-κ·x)/√-κ   (κ<0) |  x + κx³/3  (κ≈0) |  tan(√κ·x)/√κ   (κ>0)
+    artan_κ(x) = tanh⁻¹(√-κ·x)/√-κ (κ<0) |  x - κx³/3  (κ≈0) |  tan⁻¹(√κ·x)/√κ (κ>0)
+
+Branches are selected with masked ``where`` so a *trainable* κ can cross
+zero smoothly during optimisation (the κ≈0 branch is the shared
+third-order Taylor expansion of both sides).  Each branch clamps its
+argument so that the non-selected branch never produces NaNs that would
+poison the ``where`` gradient.
+
+All functions accept ``Tensor`` or array-like inputs; ``kappa`` may be a
+python float, a numpy scalar or a (trainable) scalar ``Tensor``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, ensure_tensor
+
+# Curvatures with |κ| below this are treated with the Taylor branch.
+_KAPPA_ZERO_TOL = 1e-5
+# Clamp for tan argument: stay inside (-π/2, π/2) with margin.
+_TAN_ARG_MAX = 1.51
+# Clamp for arctanh argument: stay inside (-1, 1).
+_ARTANH_ARG_MAX = 1.0 - 1e-7
+# Clamp for tanh argument: avoid saturation-driven overflow in exp.
+_TANH_ARG_MAX = 15.0
+_EPS = 1e-15
+
+
+def tan_k(x, kappa) -> Tensor:
+    """Curvature-dependent tangent ``tan_κ`` (paper Table II).
+
+    κ is a *scalar* (float or 0-d tensor), so the active branch is
+    selected in Python from its current value — the gradient with
+    respect to κ inside a branch is the correct almost-everywhere
+    derivative of the piecewise function, and the Taylor branch covers
+    the neighbourhood of κ = 0 where both sides agree to third order.
+    """
+    x = ensure_tensor(x)
+    kappa = ensure_tensor(kappa)
+    value = float(kappa.data)
+    if value < -_KAPPA_ZERO_TOL:
+        scale = ops.sqrt(ops.abs_(kappa) + _EPS)
+        return ops.tanh(ops.clip(x * scale, -_TANH_ARG_MAX, _TANH_ARG_MAX)) / scale
+    if value > _KAPPA_ZERO_TOL:
+        scale = ops.sqrt(ops.abs_(kappa) + _EPS)
+        return ops.tan(ops.clip(x * scale, -_TAN_ARG_MAX, _TAN_ARG_MAX)) / scale
+    return x + kappa * (x * x * x) * (1.0 / 3.0)
+
+
+def artan_k(x, kappa) -> Tensor:
+    """Curvature-dependent arc tangent ``tan⁻¹_κ`` (paper Table II).
+
+    Scalar-κ branch selection; see :func:`tan_k`.
+    """
+    x = ensure_tensor(x)
+    kappa = ensure_tensor(kappa)
+    value = float(kappa.data)
+    if value < -_KAPPA_ZERO_TOL:
+        scale = ops.sqrt(ops.abs_(kappa) + _EPS)
+        return ops.arctanh(ops.clip(x * scale, -_ARTANH_ARG_MAX,
+                                    _ARTANH_ARG_MAX)) / scale
+    if value > _KAPPA_ZERO_TOL:
+        scale = ops.sqrt(ops.abs_(kappa) + _EPS)
+        return ops.arctan(x * scale) / scale
+    return x - kappa * (x * x * x) * (1.0 / 3.0)
+
+
+def mobius_add(x, y, kappa) -> Tensor:
+    """Möbius addition ``x ⊕κ y`` (paper Table II convention).
+
+    At κ=0 this reduces to vector addition; at κ=-1 it is the standard
+    Poincaré-ball Möbius addition.
+    """
+    x, y = ensure_tensor(x), ensure_tensor(y)
+    kappa = ensure_tensor(kappa)
+    xy = ops.sum(x * y, axis=-1, keepdims=True)
+    x2 = ops.sum(x * x, axis=-1, keepdims=True)
+    y2 = ops.sum(y * y, axis=-1, keepdims=True)
+    numerator = (1.0 - 2.0 * kappa * xy - kappa * y2) * x + (1.0 + kappa * x2) * y
+    denominator = 1.0 - 2.0 * kappa * xy + kappa * kappa * x2 * y2
+    # The denominator can approach zero only near the boundary of the
+    # hyperbolic ball; the projection step keeps points strictly inside,
+    # and the clamp below guards the gradient.
+    safe = ops.where(np.abs(denominator.data) < _EPS,
+                     denominator + _EPS, denominator)
+    return numerator / safe
+
+
+def conformal_factor(x, kappa) -> Tensor:
+    """Conformal factor ``λ^κ_x = 2 / (1 + κ‖x‖²)``."""
+    x = ensure_tensor(x)
+    kappa = ensure_tensor(kappa)
+    x2 = ops.sum(x * x, axis=-1, keepdims=True)
+    return 2.0 / (1.0 + kappa * x2)
+
+
+def expmap0(v, kappa) -> Tensor:
+    """Exponential map at the origin: ``exp^κ_0(v) = tan_κ(‖v‖)·v/‖v‖``."""
+    v = ensure_tensor(v)
+    v_norm = ops.norm(v, axis=-1, keepdims=True)
+    return tan_k(v_norm, kappa) * (v / v_norm)
+
+
+def logmap0(x, kappa) -> Tensor:
+    """Logarithmic map at the origin: ``log^κ_0(x) = tan⁻¹_κ(‖x‖)·x/‖x‖``."""
+    x = ensure_tensor(x)
+    x_norm = ops.norm(x, axis=-1, keepdims=True)
+    return artan_k(x_norm, kappa) * (x / x_norm)
+
+
+def dist_k(x, y, kappa) -> Tensor:
+    """Geodesic distance ``d_κ(x,y) = 2·tan⁻¹_κ(‖-x ⊕κ y‖)``.
+
+    Returns shape ``(..., 1)`` — the feature axis is reduced but kept as
+    a size-1 axis so results broadcast cleanly against vectors; callers
+    that want a plain scalar per row index it away with ``[..., 0]``.
+    """
+    x, y = ensure_tensor(x), ensure_tensor(y)
+    diff = mobius_add(-x, y, kappa)
+    diff_norm = ops.norm(diff, axis=-1, keepdims=True)
+    return 2.0 * artan_k(diff_norm, kappa)
+
+
+def mobius_matvec(weight, x, kappa) -> Tensor:
+    """Möbius matrix multiplication ``W ⊗κ x = exp^κ_0(log^κ_0(x)·W)``.
+
+    ``x`` has shape ``(..., d_in)`` and ``weight`` shape
+    ``(d_in, d_out)``; the product is taken in the tangent space at the
+    origin, matching paper Table II.
+    """
+    tangent = logmap0(x, kappa)
+    return expmap0(ops.matmul(tangent, weight), kappa)
+
+
+def project(x, kappa, boundary_eps: float = 4e-3) -> Tensor:
+    """Project ``x`` back inside the valid region of ``U^n_κ``.
+
+    Only hyperbolic space has a boundary (the ball of radius
+    ``1/√(-κ)``); spherical and Euclidean points are returned unchanged.
+    Mirrors the clipping used to keep training numerically stable
+    (paper §V-B discusses exactly this out-of-boundary failure mode).
+    """
+    x = ensure_tensor(x)
+    kappa = ensure_tensor(kappa)
+    negative = kappa.data < -_KAPPA_ZERO_TOL
+    if not np.any(negative):
+        return x
+    scale = ops.sqrt(ops.abs_(kappa) + _EPS)
+    max_norm = (1.0 - boundary_eps) / scale
+    x_norm = ops.norm(x, axis=-1, keepdims=True)
+    over = x_norm.data > max_norm.data
+    scaled = x * (max_norm / x_norm)
+    inside_ball = ops.where(over, scaled, x)
+    return ops.where(negative, inside_ball, x)
+
+
+def fermi_dirac(distance, radius: float = 1.0, temperature: float = 5.0) -> Tensor:
+    """Fermi–Dirac link probability ``σ(t·(r − d))`` (paper Eq. 15 context).
+
+    The paper sets radius ``r = 1`` and temperature ``t = 5``.
+    """
+    return ops.sigmoid(temperature * (radius - ensure_tensor(distance)))

@@ -1,0 +1,67 @@
+"""Walker's alias method for O(1) discrete sampling.
+
+The paper uses the alias method for constant-time negative sampling
+over hundreds of millions of nodes (§V-A, citing Walker 1977).  The
+table is built once in O(n) and each draw costs one uniform and one
+comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AliasSampler:
+    """Constant-time sampler over a discrete distribution.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative, not-all-zero weights; normalised internally.
+    """
+
+    def __init__(self, weights):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D array")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+
+        n = weights.size
+        self.n = n
+        prob = weights * (n / total)
+        self.prob = np.empty(n, dtype=np.float64)
+        self.alias = np.zeros(n, dtype=np.int64)
+
+        small = [i for i in range(n) if prob[i] < 1.0]
+        large = [i for i in range(n) if prob[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self.prob[s] = prob[s]
+            self.alias[s] = l
+            prob[l] = prob[l] - (1.0 - prob[s])
+            if prob[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for i in large:
+            self.prob[i] = 1.0
+        for i in small:
+            self.prob[i] = 1.0
+
+    def sample(self, rng: np.random.Generator, size=None):
+        """Draw indices; scalar when ``size`` is None, else an array."""
+        if size is None:
+            column = int(rng.integers(self.n))
+            if rng.random() < self.prob[column]:
+                return column
+            return int(self.alias[column])
+        columns = rng.integers(self.n, size=size)
+        coins = rng.random(size=size)
+        take_alias = coins >= self.prob[columns]
+        result = np.where(take_alias, self.alias[columns], columns)
+        return result

@@ -1,0 +1,189 @@
+"""Behaviour-log → heterogeneous-graph construction (paper §IV-A-1, Fig. 4).
+
+Four edge channels:
+
+- **clicking** — query → each clicked item/ad of its sessions;
+- **co-clicking** — adjacent clicked item/ad nodes within a session,
+  plus query-query co-search edges between a user's consecutive
+  sessions (behavioural edges for popular nodes);
+- **semantic similarity** — query pairs whose term Jaccard similarity
+  exceeds a threshold (cold-start help for behaviour-sparse nodes);
+- **co-bidding** — ad pairs sharing at least one bid keyword.
+
+All channels produce symmetric (both-direction) edges; click/co-click
+weights are interaction counts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.common import PAD
+from repro.graph.hetgraph import HetGraph
+from repro.graph.schema import EdgeType, NodeType
+
+if TYPE_CHECKING:  # avoid a circular import at runtime
+    from repro.data.logs import BehaviorLog
+    from repro.data.universe import Universe
+
+
+class GraphBuilder:
+    """Accumulates edges from logs over a :class:`Universe`."""
+
+    def __init__(self, universe: "Universe", semantic_threshold: float = 0.4,
+                 max_semantic_degree: int = 20):
+        self.universe = universe
+        self.semantic_threshold = float(semantic_threshold)
+        self.max_semantic_degree = int(max_semantic_degree)
+        self._click: Dict[Tuple[NodeType, int, int], float] = defaultdict(float)
+        self._co_click: Dict[Tuple[NodeType, int, NodeType, int], float] = defaultdict(float)
+        self._co_search: Dict[Tuple[int, int], float] = defaultdict(float)
+
+    # -- behavioural edges ---------------------------------------------------
+
+    def add_log(self, log: "BehaviorLog") -> "GraphBuilder":
+        """Accumulate clicking / co-clicking edges from one daily log."""
+        for session in log:
+            query = session.query
+            for ref in session.clicks:
+                self._click[(ref.node_type, query, ref.index)] += 1.0
+            for first, second in zip(session.clicks, session.clicks[1:]):
+                key = (first.node_type, first.index, second.node_type, second.index)
+                if (first.node_type, first.index) != (second.node_type, second.index):
+                    self._co_click[key] += 1.0
+        for run in log.user_session_runs():
+            for first, second in zip(run, run[1:]):
+                if first.query != second.query:
+                    pair = (min(first.query, second.query),
+                            max(first.query, second.query))
+                    self._co_search[pair] += 1.0
+        return self
+
+    def add_logs(self, logs: Iterable["BehaviorLog"]) -> "GraphBuilder":
+        for log in logs:
+            self.add_log(log)
+        return self
+
+    # -- non-behavioural edges -------------------------------------------------
+
+    def _semantic_pairs(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Query pairs with term-Jaccard above threshold.
+
+        Uses an inverted term index so the cost is proportional to the
+        number of co-occurring pairs, not |Q|².  Degree is capped to the
+        strongest ``max_semantic_degree`` matches per query so dense
+        term clusters do not blow up the edge count.
+        """
+        terms = self.universe.queries.terms
+        term_sets = [set(int(t) for t in row if t != PAD) for row in terms]
+        inverted: Dict[int, List[int]] = defaultdict(list)
+        for q, row in enumerate(term_sets):
+            for term in row:
+                inverted[term].append(q)
+        overlap: Dict[Tuple[int, int], int] = defaultdict(int)
+        for queries in inverted.values():
+            if len(queries) < 2 or len(queries) > 200:
+                continue  # skip terms too generic to be informative
+            for i, a in enumerate(queries):
+                for b in queries[i + 1:]:
+                    overlap[(a, b)] += 1
+        by_query: Dict[int, List[Tuple[float, int]]] = defaultdict(list)
+        for (a, b), inter in overlap.items():
+            union = len(term_sets[a]) + len(term_sets[b]) - inter
+            if union == 0:
+                continue
+            jaccard = inter / union
+            if jaccard >= self.semantic_threshold:
+                by_query[a].append((jaccard, b))
+                by_query[b].append((jaccard, a))
+        src, dst, weight = [], [], []
+        for a, matches in by_query.items():
+            matches.sort(reverse=True)
+            for jaccard, b in matches[:self.max_semantic_degree]:
+                src.append(a)
+                dst.append(b)
+                weight.append(jaccard)
+        return (np.asarray(src, dtype=np.int64),
+                np.asarray(dst, dtype=np.int64),
+                np.asarray(weight, dtype=np.float64))
+
+    def _co_bid_pairs(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Ad pairs sharing at least one bid keyword."""
+        bid_words = self.universe.ads.bid_words
+        inverted: Dict[int, List[int]] = defaultdict(list)
+        for ad, row in enumerate(bid_words):
+            for word in set(int(w) for w in row if w != PAD):
+                inverted[word].append(ad)
+        pairs: Dict[Tuple[int, int], float] = defaultdict(float)
+        for ads in inverted.values():
+            if len(ads) < 2 or len(ads) > 200:
+                continue
+            for i, a in enumerate(ads):
+                for b in ads[i + 1:]:
+                    pairs[(a, b)] += 1.0
+        if not pairs:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                    np.empty(0))
+        src = np.fromiter((a for a, _ in pairs), dtype=np.int64, count=len(pairs))
+        dst = np.fromiter((b for _, b in pairs), dtype=np.int64, count=len(pairs))
+        weight = np.fromiter(pairs.values(), dtype=np.float64, count=len(pairs))
+        return src, dst, weight
+
+    # -- finalisation -----------------------------------------------------------
+
+    def build(self) -> HetGraph:
+        """Materialise the heterogeneous graph."""
+        universe = self.universe
+        graph = HetGraph(universe.num_nodes(), universe.categories(),
+                         universe.features(), universe.category_tree)
+
+        # clicking edges (query <-> item/ad)
+        for target_type in (NodeType.ITEM, NodeType.AD):
+            entries = [(q, d, w) for (t, q, d), w in self._click.items()
+                       if t == target_type]
+            if entries:
+                q, d, w = (np.asarray(col) for col in zip(*entries))
+                graph.add_edges(NodeType.QUERY, EdgeType.CLICK, target_type,
+                                q, d, w, symmetric=True)
+
+        # co-clicking edges (item/ad <-> item/ad, all type combinations)
+        grouped: Dict[Tuple[NodeType, NodeType], List[Tuple[int, int, float]]] = defaultdict(list)
+        for (t1, i1, t2, i2), w in self._co_click.items():
+            grouped[(t1, t2)].append((i1, i2, w))
+        for (t1, t2), entries in grouped.items():
+            s, d, w = (np.asarray(col) for col in zip(*entries))
+            graph.add_edges(t1, EdgeType.CO_CLICK, t2, s, d, w, symmetric=True)
+
+        # query co-search edges (behavioural q-q, used by Table III's
+        # first meta-path)
+        if self._co_search:
+            entries = [(a, b, w) for (a, b), w in self._co_search.items()]
+            a, b, w = (np.asarray(col) for col in zip(*entries))
+            graph.add_edges(NodeType.QUERY, EdgeType.CO_CLICK, NodeType.QUERY,
+                            a, b, w, symmetric=True)
+
+        # semantic similarity edges (q-q)
+        src, dst, weight = self._semantic_pairs()
+        if src.size:
+            graph.add_edges(NodeType.QUERY, EdgeType.SEMANTIC, NodeType.QUERY,
+                            src, dst, weight, symmetric=True)
+
+        # co-bidding edges (a-a)
+        src, dst, weight = self._co_bid_pairs()
+        if src.size:
+            graph.add_edges(NodeType.AD, EdgeType.CO_BID, NodeType.AD,
+                            src, dst, weight, symmetric=True)
+        return graph
+
+
+def build_graph(universe: "Universe", logs: Sequence["BehaviorLog"],
+                semantic_threshold: float = 0.4) -> HetGraph:
+    """One-call construction: accumulate all logs and build."""
+    builder = GraphBuilder(universe, semantic_threshold=semantic_threshold)
+    builder.add_logs(logs)
+    return builder.build()

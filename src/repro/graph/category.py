@@ -1,0 +1,126 @@
+"""The e-commerce category tree (paper §IV-A-2, Fig. 1).
+
+Every product (item/ad) belongs to one *leaf* category; queries are
+classified into categories too.  AMCAD uses the tree in two places:
+
+- positive node pairs from meta-path walks must share a category;
+- *hard* negatives are drawn from the same category as the positive,
+  *easy* negatives from other categories.
+
+The tree also provides the planted hierarchical structure that makes
+hyperbolic subspaces useful, so the synthetic data generator grows its
+query taxonomy from the same object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+class CategoryTree:
+    """A rooted tree of category ids with O(1) parent/depth lookups.
+
+    Node 0 is the root.  Construction is top-down with
+    :meth:`add_child`; :func:`CategoryTree.balanced` grows a uniform
+    taxonomy of a given depth and branching factor.
+    """
+
+    def __init__(self):
+        self.parent: List[int] = [-1]
+        self.depth: List[int] = [0]
+        self.children: List[List[int]] = [[]]
+        self.name: List[str] = ["root"]
+
+    @classmethod
+    def balanced(cls, depth: int, branching: int,
+                 namer=None) -> "CategoryTree":
+        """Grow a complete tree: ``branching**depth`` leaves.
+
+        ``namer(parent_name, child_rank)`` may supply human-readable
+        names; defaults to dotted paths like ``"root.2.0"``.
+        """
+        tree = cls()
+        frontier = [0]
+        for _ in range(depth):
+            next_frontier = []
+            for node in frontier:
+                for rank in range(branching):
+                    if namer is not None:
+                        name = namer(tree.name[node], rank)
+                    else:
+                        name = "%s.%d" % (tree.name[node], rank)
+                    next_frontier.append(tree.add_child(node, name))
+            frontier = next_frontier
+        return tree
+
+    def add_child(self, parent: int, name: Optional[str] = None) -> int:
+        """Attach a new category under ``parent`` and return its id."""
+        if not 0 <= parent < len(self.parent):
+            raise ValueError("unknown parent category %d" % parent)
+        node = len(self.parent)
+        self.parent.append(parent)
+        self.depth.append(self.depth[parent] + 1)
+        self.children.append([])
+        self.name.append(name if name is not None else "cat%d" % node)
+        self.children[parent].append(node)
+        return node
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    @property
+    def leaves(self) -> List[int]:
+        """Ids of all leaf categories."""
+        return [i for i, kids in enumerate(self.children) if not kids]
+
+    def is_leaf(self, node: int) -> bool:
+        return not self.children[node]
+
+    def path(self, node: int) -> List[int]:
+        """Path from the root to ``node`` (inclusive)."""
+        trail = []
+        while node != -1:
+            trail.append(node)
+            node = self.parent[node]
+        return trail[::-1]
+
+    def ancestor_at_depth(self, node: int, depth: int) -> int:
+        """The ancestor of ``node`` at the given depth (0 = root)."""
+        while self.depth[node] > depth:
+            node = self.parent[node]
+        return node
+
+    def lowest_common_ancestor(self, a: int, b: int) -> int:
+        while self.depth[a] > self.depth[b]:
+            a = self.parent[a]
+        while self.depth[b] > self.depth[a]:
+            b = self.parent[b]
+        while a != b:
+            a = self.parent[a]
+            b = self.parent[b]
+        return a
+
+    def tree_distance(self, a: int, b: int) -> int:
+        """Number of edges on the tree path between two categories."""
+        lca = self.lowest_common_ancestor(a, b)
+        return (self.depth[a] - self.depth[lca]) + (self.depth[b] - self.depth[lca])
+
+    def siblings(self, node: int) -> List[int]:
+        """Other children of the same parent (empty for the root)."""
+        parent = self.parent[node]
+        if parent == -1:
+            return []
+        return [c for c in self.children[parent] if c != node]
+
+    def sample_leaf(self, rng: np.random.Generator) -> int:
+        leaves = self.leaves
+        return leaves[int(rng.integers(len(leaves)))]
+
+    def leaf_groups_by_parent(self) -> Dict[int, List[int]]:
+        """Leaves grouped under their direct parent."""
+        groups: Dict[int, List[int]] = {}
+        for leaf in self.leaves:
+            groups.setdefault(self.parent[leaf], []).append(leaf)
+        return groups

@@ -1,0 +1,170 @@
+"""Meta-path guided random walks and positive-pair extraction.
+
+Implements paper §IV-A-2 and Table III: six meta-paths over the
+heterogeneous graph, each a short typed walk whose visited nodes give
+positive pairs ``<start, later>`` via a sliding window.  Positive pairs
+must share a category (paper: "we also require the sampled positive
+node pairs to be in the same category"); for queries whose category is
+an internal tree node, "same" means one category lies on the other's
+root path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.hetgraph import HetGraph
+from repro.graph.schema import EdgeType, NodeRef, NodeType, Relation, relation_of
+
+
+@dataclasses.dataclass(frozen=True)
+class MetaPath:
+    """A typed walk template: start type + (edge type, node type) steps."""
+
+    name: str
+    start: NodeType
+    steps: Tuple[Tuple[EdgeType, NodeType], ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+
+#: The six meta-paths of paper Table III.
+TABLE_III_META_PATHS: Tuple[MetaPath, ...] = (
+    MetaPath("q-coclick-q-semantic-q", NodeType.QUERY,
+             ((EdgeType.CO_CLICK, NodeType.QUERY),
+              (EdgeType.SEMANTIC, NodeType.QUERY))),
+    MetaPath("q-click-i-coclick-i", NodeType.QUERY,
+             ((EdgeType.CLICK, NodeType.ITEM),
+              (EdgeType.CO_CLICK, NodeType.ITEM))),
+    MetaPath("q-click-a-cobid-a", NodeType.QUERY,
+             ((EdgeType.CLICK, NodeType.AD),
+              (EdgeType.CO_BID, NodeType.AD))),
+    MetaPath("i-click-q-semantic-q", NodeType.ITEM,
+             ((EdgeType.CLICK, NodeType.QUERY),
+              (EdgeType.SEMANTIC, NodeType.QUERY))),
+    MetaPath("i-coclick-i-coclick-i", NodeType.ITEM,
+             ((EdgeType.CO_CLICK, NodeType.ITEM),
+              (EdgeType.CO_CLICK, NodeType.ITEM))),
+    MetaPath("i-coclick-a-cobid-a", NodeType.ITEM,
+             ((EdgeType.CO_CLICK, NodeType.AD),
+              (EdgeType.CO_BID, NodeType.AD))),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class PositivePair:
+    """A positive training pair with its relation label."""
+
+    source: NodeRef
+    target: NodeRef
+    relation: Relation
+
+
+class MetaPathWalker:
+    """Samples positive pairs by meta-path guided random walk.
+
+    Parameters
+    ----------
+    graph:
+        The heterogeneous graph.
+    meta_paths:
+        Walk templates; defaults to paper Table III.
+    enforce_category:
+        Apply the same-category constraint of §IV-A-2.
+    """
+
+    def __init__(self, graph: HetGraph,
+                 meta_paths: Optional[Sequence[MetaPath]] = None,
+                 enforce_category: bool = True):
+        self.graph = graph
+        self.meta_paths = tuple(meta_paths or TABLE_III_META_PATHS)
+        self.enforce_category = enforce_category
+        # start-node pools: nodes with at least one edge of the first step
+        self._start_pools = {}
+        for path in self.meta_paths:
+            degree = np.zeros(graph.num_nodes[path.start], dtype=np.int64)
+            edge_type, dst_type = path.steps[0]
+            for (s, e, d), csr in graph._adj.items():
+                if s == path.start and e == edge_type and d == dst_type:
+                    degree += np.diff(csr.indptr)
+            self._start_pools[path.name] = np.flatnonzero(degree > 0)
+
+    def _same_category(self, a: NodeRef, b: NodeRef) -> bool:
+        tree = self.graph.category_tree
+        cat_a = int(self.graph.categories[a.node_type][a.index])
+        cat_b = int(self.graph.categories[b.node_type][b.index])
+        if cat_a == cat_b:
+            return True
+        lca = tree.lowest_common_ancestor(cat_a, cat_b)
+        return lca == cat_a or lca == cat_b
+
+    def _step(self, rng: np.random.Generator, node_type: NodeType, index: int,
+              edge_type: EdgeType, dst_type: NodeType) -> Optional[int]:
+        ids, weights, _ = self.graph.neighbors(node_type, index,
+                                               edge_type=edge_type,
+                                               dst_type=dst_type)
+        if ids.size == 0:
+            return None
+        probs = weights / weights.sum()
+        return int(rng.choice(ids, p=probs))
+
+    def walk(self, rng: np.random.Generator, path: MetaPath,
+             start: Optional[int] = None) -> Optional[List[NodeRef]]:
+        """One walk along ``path``; None if it dead-ends or has no start."""
+        pool = self._start_pools[path.name]
+        if start is None:
+            if pool.size == 0:
+                return None
+            start = int(pool[rng.integers(pool.size)])
+        trail = [NodeRef(path.start, start)]
+        current_type, current = path.start, start
+        for edge_type, dst_type in path.steps:
+            nxt = self._step(rng, current_type, current, edge_type, dst_type)
+            if nxt is None:
+                return None
+            trail.append(NodeRef(dst_type, nxt))
+            current_type, current = dst_type, nxt
+        return trail
+
+    def extract_pairs(self, trail: List[NodeRef]) -> List[PositivePair]:
+        """Sliding-window positives anchored at the walk start (Table III)."""
+        pairs = []
+        anchor = trail[0]
+        for node in trail[1:]:
+            if node == anchor:
+                continue
+            if self.enforce_category and not self._same_category(anchor, node):
+                continue
+            try:
+                relation = relation_of(anchor.node_type, node.node_type)
+            except (KeyError, ValueError):
+                continue
+            pairs.append(PositivePair(anchor, node, relation))
+        return pairs
+
+    def sample_pairs(self, rng: np.random.Generator,
+                     num_walks: int) -> List[PositivePair]:
+        """Run ``num_walks`` walks, cycling meta-paths, collecting pairs."""
+        pairs: List[PositivePair] = []
+        for i in range(num_walks):
+            path = self.meta_paths[i % len(self.meta_paths)]
+            trail = self.walk(rng, path)
+            if trail is not None:
+                pairs.extend(self.extract_pairs(trail))
+        return pairs
+
+    def iter_pairs(self, rng: np.random.Generator) -> Iterator[PositivePair]:
+        """Endless stream of positive pairs."""
+        i = 0
+        while True:
+            path = self.meta_paths[i % len(self.meta_paths)]
+            i += 1
+            trail = self.walk(rng, path)
+            if trail is None:
+                continue
+            yield from self.extract_pairs(trail)

@@ -1,0 +1,86 @@
+"""Node, edge and relation vocabulary of the interaction graph.
+
+The paper's heterogeneous graph ``G = (V, E)`` has three node types
+(queries ``V_q``, items ``V_i``, ads ``V_a``) and four edge types
+(clicking, co-clicking, semantic similarity, co-bidding).  The
+edge-level scorer and the online index layer additionally speak in
+terms of *relations* — ordered (source-type, target-type) pairs — of
+which six are used end to end: Q2Q, Q2I, Q2A, I2Q, I2I, I2A.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+
+class NodeType(str, enum.Enum):
+    """The three entity types of the sponsored-search graph."""
+
+    QUERY = "query"
+    ITEM = "item"
+    AD = "ad"
+
+    @property
+    def letter(self) -> str:
+        """Single-letter code used in relation names (q/i/a)."""
+        return {"query": "q", "item": "i", "ad": "a"}[self.value]
+
+
+class EdgeType(str, enum.Enum):
+    """Edge construction channels (paper §IV-A-1)."""
+
+    CLICK = "click"
+    CO_CLICK = "co_click"
+    SEMANTIC = "semantic"
+    CO_BID = "co_bid"
+
+
+class Relation(str, enum.Enum):
+    """Typed (source, target) pairs scored by the edge-level scorer.
+
+    These are also the six inverted indices of the two-layer online
+    retrieval framework (paper §IV-C, Fig. 6).
+    """
+
+    Q2Q = "q2q"
+    Q2I = "q2i"
+    Q2A = "q2a"
+    I2Q = "i2q"
+    I2I = "i2i"
+    I2A = "i2a"
+
+    @property
+    def source_type(self) -> NodeType:
+        return _LETTER_TO_TYPE[self.value[0]]
+
+    @property
+    def target_type(self) -> NodeType:
+        return _LETTER_TO_TYPE[self.value[2]]
+
+
+_LETTER_TO_TYPE = {"q": NodeType.QUERY, "i": NodeType.ITEM, "a": NodeType.AD}
+
+
+def relation_of(source: NodeType, target: NodeType) -> Relation:
+    """Return the relation for a typed node pair.
+
+    Ad-sourced pairs produced by meta-path walks (e.g. ``<q, a1>`` and
+    ``<q, a2>``) are always query/item-sourced in Table III, so only the
+    six relations above are needed; an A2* lookup raises ``KeyError``.
+    """
+    return Relation("%s2%s" % (source.letter, target.letter))
+
+
+class NodeRef(NamedTuple):
+    """A typed node handle: ``(node_type, local_index)``.
+
+    Node indices are contiguous *within* a type; the pair is the
+    canonical node identity everywhere in the library.
+    """
+
+    node_type: NodeType
+    index: int
+
+    def __str__(self) -> str:
+        return "%s:%d" % (self.node_type.letter, self.index)

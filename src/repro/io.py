@@ -1,0 +1,134 @@
+"""Persistence for trained models and built indices.
+
+The deployed system trains offline, ships embeddings to index builders
+and serves from stored indices (paper Fig. 3); this module provides the
+laptop equivalent: ``.npz``-based save/load with a JSON config header.
+
+Model checkpoints store the configuration plus every parameter tensor
+in deterministic construction order, so loading requires only the same
+graph (the entity universe defines the table shapes):
+
+    save_model(model, "amcad.npz")
+    model = load_model("amcad.npz", graph)
+
+Index sets serialise each relation's key→results arrays and reload
+into a lightweight read-only object that serves the two-layer
+retriever without the model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.graph.hetgraph import HetGraph
+from repro.graph.schema import Relation
+from repro.models.amcad import AMCAD, AMCADConfig
+from repro.retrieval.index import IndexSet, InvertedIndex
+
+PathLike = Union[str, pathlib.Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: AMCAD, path: PathLike) -> pathlib.Path:
+    """Write an AMCAD checkpoint (config JSON + parameter arrays)."""
+    path = pathlib.Path(path)
+    params = list(model.parameters())
+    arrays = {"param_%06d" % i: p.data for i, p in enumerate(params)}
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "config": dataclasses.asdict(model.config),
+        "num_parameters": len(params),
+    }
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_model(path: PathLike, graph: HetGraph) -> AMCAD:
+    """Rebuild a model over ``graph`` and restore its parameters.
+
+    The graph must come from the same entity universe the checkpoint
+    was trained on (feature-table shapes are derived from it).
+    """
+    path = pathlib.Path(path)
+    with np.load(path) as archive:
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        if header["format_version"] != _FORMAT_VERSION:
+            raise ValueError("unsupported checkpoint version %r"
+                             % header["format_version"])
+        config = AMCADConfig(**header["config"])
+        model = AMCAD(graph, config)
+        params = list(model.parameters())
+        if len(params) != header["num_parameters"]:
+            raise ValueError(
+                "checkpoint has %d parameters but the rebuilt model has %d "
+                "— was it saved for a different graph/universe?"
+                % (header["num_parameters"], len(params)))
+        for i, param in enumerate(params):
+            stored = archive["param_%06d" % i]
+            if stored.shape != param.data.shape:
+                raise ValueError(
+                    "parameter %d shape mismatch: checkpoint %r vs model %r"
+                    % (i, stored.shape, param.data.shape))
+            param.data[...] = stored
+    return model
+
+
+def save_index_set(index_set: IndexSet, path: PathLike) -> pathlib.Path:
+    """Write all built inverted indices to one ``.npz`` file."""
+    path = pathlib.Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    relations = []
+    for relation, index in index_set.indices.items():
+        key = relation.value
+        relations.append(key)
+        arrays["ids_%s" % key] = index.ids
+        arrays["dists_%s" % key] = index.distances
+    header = {"format_version": _FORMAT_VERSION, "relations": relations}
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+class StoredIndexSet:
+    """Read-only index set reloaded from disk.
+
+    Provides the mapping interface the two-layer retriever uses
+    (``__getitem__`` / ``__contains__``) without needing the model.
+    """
+
+    def __init__(self, indices: Dict[Relation, InvertedIndex]):
+        self.indices = indices
+
+    def __getitem__(self, relation: Relation) -> InvertedIndex:
+        return self.indices[relation]
+
+    def __contains__(self, relation: Relation) -> bool:
+        return relation in self.indices
+
+
+def load_index_set(path: PathLike) -> StoredIndexSet:
+    """Reload indices written by :func:`save_index_set`."""
+    path = pathlib.Path(path)
+    with np.load(path) as archive:
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        if header["format_version"] != _FORMAT_VERSION:
+            raise ValueError("unsupported index version %r"
+                             % header["format_version"])
+        indices = {}
+        for key in header["relations"]:
+            relation = Relation(key)
+            indices[relation] = InvertedIndex(
+                relation=relation,
+                ids=archive["ids_%s" % key],
+                distances=archive["dists_%s" % key],
+                build_seconds=0.0)
+    return StoredIndexSet(indices)

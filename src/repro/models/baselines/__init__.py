@@ -1,0 +1,64 @@
+"""Baseline models of paper Table VI.
+
+Two families:
+
+- **Random-walk / skip-gram baselines** (this module's
+  :mod:`~repro.models.baselines.skipgram` and
+  :mod:`~repro.models.baselines.walks`): DeepWalk, LINE (1st and 2nd
+  order), Node2Vec and Metapath2Vec.  These are shallow Euclidean
+  embedding models trained with skip-gram negative sampling, using
+  hand-derived gradients (they need no manifold machinery and train an
+  order of magnitude faster that way).
+
+- **Geometric baselines** (HyperML, HGCN, GIL, M2GNN, product space):
+  these share AMCAD's architecture with frozen design switches and are
+  produced by :func:`repro.models.amcad.make_model`.
+"""
+
+from repro.models.baselines.skipgram import SkipGramConfig, SkipGramModel
+from repro.models.baselines.walks import (
+    DeepWalkGenerator,
+    LineEdgeGenerator,
+    MetapathPairGenerator,
+    Node2VecGenerator,
+)
+
+SKIPGRAM_BASELINES = ("deepwalk", "line1", "line2", "node2vec", "metapath2vec")
+
+
+def make_baseline(name: str, graph, *, dim: int = 32, seed: int = 0,
+                  **kwargs) -> SkipGramModel:
+    """Build a skip-gram baseline with its walk generator attached."""
+    key = name.lower()
+    if key == "deepwalk":
+        generator = DeepWalkGenerator(graph, seed=seed)
+        config = SkipGramConfig(dim=dim, use_context_table=False, seed=seed)
+    elif key == "line1":
+        generator = LineEdgeGenerator(graph, seed=seed)
+        config = SkipGramConfig(dim=dim, use_context_table=False, seed=seed)
+    elif key == "line2":
+        generator = LineEdgeGenerator(graph, seed=seed)
+        config = SkipGramConfig(dim=dim, use_context_table=True, seed=seed)
+    elif key == "node2vec":
+        generator = Node2VecGenerator(graph, seed=seed,
+                                      p=kwargs.pop("p", 1.0),
+                                      q=kwargs.pop("q", 0.5))
+        config = SkipGramConfig(dim=dim, use_context_table=False, seed=seed)
+    elif key == "metapath2vec":
+        generator = MetapathPairGenerator(graph, seed=seed)
+        config = SkipGramConfig(dim=dim, use_context_table=False, seed=seed)
+    else:
+        raise ValueError("unknown baseline %r" % name)
+    return SkipGramModel(graph, config, generator)
+
+
+__all__ = [
+    "SkipGramModel",
+    "SkipGramConfig",
+    "SKIPGRAM_BASELINES",
+    "make_baseline",
+    "DeepWalkGenerator",
+    "Node2VecGenerator",
+    "LineEdgeGenerator",
+    "MetapathPairGenerator",
+]

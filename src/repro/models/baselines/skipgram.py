@@ -1,0 +1,141 @@
+"""Skip-gram with negative sampling (SGNS) over global node ids.
+
+The shared trainer behind DeepWalk, LINE(1st/2nd), Node2Vec and
+Metapath2Vec.  Gradients are hand-derived (the SGNS objective is a
+two-layer log-bilinear model), which keeps the Euclidean baselines an
+order of magnitude faster than routing them through the autodiff tape —
+important because Table VI trains five of them.
+
+Objective for a pair (u, v) with negatives {n}::
+
+    L = -log σ(e_u · c_v) - Σ_n log σ(-e_u · c_n)
+
+With ``use_context_table=False`` the context table *is* the embedding
+table (LINE first-order style); with ``True`` a separate context table
+is used (LINE second-order / word2vec style).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.alias import AliasSampler
+from repro.graph.hetgraph import HetGraph
+from repro.graph.schema import NodeType, Relation
+from repro.models.baselines.walks import GlobalIdSpace
+
+
+@dataclasses.dataclass
+class SkipGramConfig:
+    """Hyper-parameters of the SGNS trainer."""
+
+    dim: int = 32
+    num_negatives: int = 5
+    learning_rate: float = 0.05
+    batch_size: int = 256
+    use_context_table: bool = True
+    degree_smoothing: float = 0.75
+    seed: int = 0
+
+
+class SkipGramModel:
+    """A shallow embedding model over the flattened node id space."""
+
+    def __init__(self, graph: HetGraph, config: SkipGramConfig, generator):
+        self.graph = graph
+        self.config = config
+        self.generator = generator
+        self.ids = GlobalIdSpace(graph)
+        rng = np.random.default_rng(config.seed)
+        self.rng = rng
+        scale = 0.5 / config.dim
+        self.embeddings = rng.normal(scale=scale,
+                                     size=(self.ids.total, config.dim))
+        if config.use_context_table:
+            self.contexts = np.zeros((self.ids.total, config.dim))
+        else:
+            self.contexts = self.embeddings
+        degrees = np.zeros(self.ids.total)
+        for node_type in NodeType:
+            offset = self.ids.offsets[node_type]
+            n = graph.num_nodes[node_type]
+            degrees[offset:offset + n] = graph.degree(node_type)
+        weights = degrees ** config.degree_smoothing + 1e-3
+        self._negative_sampler = AliasSampler(weights)
+
+    # -- training ------------------------------------------------------------
+
+    def _step(self, centers: np.ndarray, contexts: np.ndarray) -> float:
+        """One SGNS minibatch update; returns mean loss."""
+        cfg = self.config
+        k = cfg.num_negatives
+        negatives = self._negative_sampler.sample(
+            self.rng, size=(centers.size, k))
+
+        e_u = self.embeddings[centers]                     # (B, d)
+        c_v = self.contexts[contexts]                      # (B, d)
+        c_n = self.contexts[negatives]                     # (B, k, d)
+
+        pos_logits = np.einsum("bd,bd->b", e_u, c_v)
+        neg_logits = np.einsum("bd,bkd->bk", e_u, c_n)
+        pos_sig = 1.0 / (1.0 + np.exp(-pos_logits))
+        neg_sig = 1.0 / (1.0 + np.exp(-neg_logits))
+
+        loss = (-np.log(np.maximum(pos_sig, 1e-12)).mean()
+                - np.log(np.maximum(1.0 - neg_sig, 1e-12)).sum(axis=1).mean())
+
+        g_pos = (pos_sig - 1.0)[:, None]                   # d/d(pos_logit)
+        g_neg = neg_sig[..., None]                         # d/d(neg_logit)
+
+        grad_e = g_pos * c_v + np.einsum("bkd,bko->bd", c_n, g_neg)
+        grad_cv = g_pos * e_u
+        grad_cn = g_neg * e_u[:, None, :]
+
+        lr = cfg.learning_rate
+        np.add.at(self.embeddings, centers, -lr * grad_e)
+        np.add.at(self.contexts, contexts, -lr * grad_cv)
+        np.add.at(self.contexts, negatives.ravel(),
+                  -lr * grad_cn.reshape(-1, cfg.dim))
+        return float(loss)
+
+    def train(self, num_pairs: int, log_every: int = 0) -> float:
+        """Stream pairs from the generator and run SGNS updates."""
+        cfg = self.config
+        batch_centers, batch_contexts = [], []
+        last_loss = 0.0
+        seen = 0
+        for center, context in self.generator.pairs(num_pairs):
+            batch_centers.append(center)
+            batch_contexts.append(context)
+            if len(batch_centers) == cfg.batch_size:
+                last_loss = self._step(np.asarray(batch_centers),
+                                       np.asarray(batch_contexts))
+                seen += cfg.batch_size
+                if log_every and seen % log_every == 0:
+                    print("sgns pairs=%d loss=%.4f" % (seen, last_loss))
+                batch_centers, batch_contexts = [], []
+        if batch_centers:
+            last_loss = self._step(np.asarray(batch_centers),
+                                   np.asarray(batch_contexts))
+        return last_loss
+
+    # -- evaluation interface --------------------------------------------------
+
+    def similarity(self, relation: Relation, src_indices: np.ndarray,
+                   dst_indices: np.ndarray) -> np.ndarray:
+        """Dot-product similarity for typed index arrays (higher = closer)."""
+        src = self.ids.to_global(relation.source_type, src_indices)
+        dst = self.ids.to_global(relation.target_type, dst_indices)
+        return np.einsum("bd,bd->b", self.embeddings[src],
+                         self.embeddings[dst])
+
+    def embed(self, node_type: NodeType,
+              indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Embeddings for nodes of a type (all nodes when unspecified)."""
+        n = self.graph.num_nodes[node_type]
+        if indices is None:
+            indices = np.arange(n)
+        return self.embeddings[self.ids.to_global(node_type, indices)]

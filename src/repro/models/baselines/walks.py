@@ -1,0 +1,174 @@
+"""Training-pair generators for the skip-gram baselines.
+
+All generators speak *global* node ids: the heterogeneous graph is
+flattened into one id space (queries, then items, then ads) because
+DeepWalk/LINE/Node2Vec are homogeneous models — precisely the
+limitation the paper calls out when explaining why AMCAD_E beats them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.hetgraph import HetGraph
+from repro.graph.metapath import MetaPathWalker
+from repro.graph.schema import NodeType
+
+
+class GlobalIdSpace:
+    """Bijection between typed node refs and one flat id space."""
+
+    def __init__(self, graph: HetGraph):
+        self.offsets: Dict[NodeType, int] = {}
+        offset = 0
+        for node_type in NodeType:
+            self.offsets[node_type] = offset
+            offset += graph.num_nodes[node_type]
+        self.total = offset
+
+    def to_global(self, node_type: NodeType, index) -> np.ndarray:
+        return np.asarray(index) + self.offsets[node_type]
+
+
+def _flat_adjacency(graph: HetGraph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR over global ids merging every edge type/direction."""
+    ids = GlobalIdSpace(graph)
+    srcs, dsts, weights = [], [], []
+    for (s_type, _edge, d_type), csr in graph._adj.items():
+        n_src = graph.num_nodes[s_type]
+        src_local = np.repeat(np.arange(n_src), np.diff(csr.indptr))
+        srcs.append(src_local + ids.offsets[s_type])
+        dsts.append(csr.indices + ids.offsets[d_type])
+        weights.append(csr.weights)
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    weight = np.concatenate(weights)
+    order = np.argsort(src, kind="stable")
+    src, dst, weight = src[order], dst[order], weight[order]
+    counts = np.bincount(src, minlength=ids.total)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return indptr, dst.astype(np.int64), weight
+
+
+class DeepWalkGenerator:
+    """Uniform truncated random walks + window co-occurrence pairs."""
+
+    def __init__(self, graph: HetGraph, walk_length: int = 8, window: int = 3,
+                 seed: int = 0):
+        self.ids = GlobalIdSpace(graph)
+        self.indptr, self.indices, self.weights = _flat_adjacency(graph)
+        self.walk_length = int(walk_length)
+        self.window = int(window)
+        self.rng = np.random.default_rng(seed)
+        self._starts = np.flatnonzero(np.diff(self.indptr) > 0)
+
+    def _neighbors(self, node: int) -> np.ndarray:
+        return self.indices[self.indptr[node]:self.indptr[node + 1]]
+
+    def _walk(self, start: int) -> List[int]:
+        trail = [start]
+        current = start
+        for _ in range(self.walk_length - 1):
+            neigh = self._neighbors(current)
+            if neigh.size == 0:
+                break
+            current = int(neigh[self.rng.integers(neigh.size)])
+            trail.append(current)
+        return trail
+
+    def pairs(self, num_pairs: int) -> Iterator[Tuple[int, int]]:
+        produced = 0
+        while produced < num_pairs:
+            start = int(self._starts[self.rng.integers(self._starts.size)])
+            trail = self._walk(start)
+            for i, center in enumerate(trail):
+                lo = max(0, i - self.window)
+                hi = min(len(trail), i + self.window + 1)
+                for j in range(lo, hi):
+                    if j == i:
+                        continue
+                    yield (center, trail[j])
+                    produced += 1
+                    if produced >= num_pairs:
+                        return
+
+
+class Node2VecGenerator(DeepWalkGenerator):
+    """Second-order biased walks (return parameter p, in-out parameter q)."""
+
+    def __init__(self, graph: HetGraph, walk_length: int = 8, window: int = 3,
+                 p: float = 1.0, q: float = 0.5, seed: int = 0):
+        super().__init__(graph, walk_length, window, seed)
+        self.p = float(p)
+        self.q = float(q)
+        self._neighbor_sets: Dict[int, frozenset] = {}
+
+    def _neighbor_set(self, node: int) -> frozenset:
+        cached = self._neighbor_sets.get(node)
+        if cached is None:
+            cached = frozenset(self._neighbors(node).tolist())
+            self._neighbor_sets[node] = cached
+        return cached
+
+    def _walk(self, start: int) -> List[int]:
+        trail = [start]
+        previous: Optional[int] = None
+        current = start
+        for _ in range(self.walk_length - 1):
+            neigh = self._neighbors(current)
+            if neigh.size == 0:
+                break
+            if previous is None:
+                nxt = int(neigh[self.rng.integers(neigh.size)])
+            else:
+                prev_neigh = self._neighbor_set(previous)
+                bias = np.where(neigh == previous, 1.0 / self.p,
+                                np.where([n in prev_neigh for n in neigh],
+                                         1.0, 1.0 / self.q))
+                bias = bias / bias.sum()
+                nxt = int(self.rng.choice(neigh, p=bias))
+            trail.append(nxt)
+            previous, current = current, nxt
+        return trail
+
+
+class LineEdgeGenerator:
+    """Direct edge sampling (LINE first/second order proximity)."""
+
+    def __init__(self, graph: HetGraph, seed: int = 0):
+        self.ids = GlobalIdSpace(graph)
+        indptr, indices, weights = _flat_adjacency(graph)
+        src = np.repeat(np.arange(self.ids.total), np.diff(indptr))
+        self.src = src
+        self.dst = indices
+        probs = weights / weights.sum()
+        self._probs = probs
+        self.rng = np.random.default_rng(seed)
+
+    def pairs(self, num_pairs: int) -> Iterator[Tuple[int, int]]:
+        picks = self.rng.choice(self.src.size, size=num_pairs, p=self._probs)
+        for edge in picks:
+            yield (int(self.src[edge]), int(self.dst[edge]))
+
+
+class MetapathPairGenerator:
+    """Positive pairs from the Table III meta-path walker (Metapath2Vec)."""
+
+    def __init__(self, graph: HetGraph, seed: int = 0):
+        self.ids = GlobalIdSpace(graph)
+        self.walker = MetaPathWalker(graph)
+        self.rng = np.random.default_rng(seed)
+
+    def pairs(self, num_pairs: int) -> Iterator[Tuple[int, int]]:
+        produced = 0
+        for pair in self.walker.iter_pairs(self.rng):
+            src = int(self.ids.to_global(pair.source.node_type,
+                                         pair.source.index))
+            dst = int(self.ids.to_global(pair.target.node_type,
+                                         pair.target.index))
+            yield (src, dst)
+            produced += 1
+            if produced >= num_pairs:
+                return

@@ -1,0 +1,246 @@
+"""Node-level adaptive mixed-curvature encoder (paper §IV-B-1, Fig. 5).
+
+Three stages:
+
+1. **Inductive learning** (Eq. 4) — feature embeddings are concatenated
+   in tangent space and exponentially mapped into each of the M
+   subspaces of the node type's product manifold;
+2. **Context encoding** (Eq. 5–6) — a tangent-space GCN: sampled
+   neighbours of each type are log-mapped to the origin's tangent
+   space, mean-aggregated per neighbour type, summed across types,
+   concatenated with the node's own tangent vector, then pushed back
+   through ``exp → ⊗κ → σκ``;
+3. **Space fusion** (Eq. 7–8) — the average of all subspace tangent
+   vectors (the global fused representation) is concatenated back into
+   each subspace so subspaces co-adapt instead of training in
+   isolation.
+
+Each node type owns its own product manifold, i.e. its own set of
+curvatures ``κ_{m,t}`` — queries can become hyperbolic while ads go
+spherical, which is exactly the heterogeneity argument of the paper.
+
+Implementation note — Möbius biases.  Every curved linear stage here is
+``W ⊗κ x ⊕κ exp^κ_0(b)`` rather than the bias-free ``W ⊗κ x`` of the
+paper's equations.  The Möbius bias (standard in hyperbolic neural
+networks — Ganea et al., the paper's reference [26], and HGCN) is not
+cosmetic: in exact arithmetic a bias-free chain of
+``exp^κ_0 → log^κ_0`` maps cancels κ entirely, which would make the
+node-level curvatures unidentifiable (zero gradient).  Möbius addition
+of a bias point is the κ-dependent operation that makes "adaptive"
+curvature actually adapt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Parameter, Tensor
+from repro.geometry.product import ProductManifold
+from repro.graph.hetgraph import HetGraph
+from repro.graph.schema import NodeType
+from repro.models.features import FeatureEmbedding, glorot
+
+
+class NodeEncoder:
+    """Maps typed node indices to points in per-type mixed-curvature spaces.
+
+    Parameters
+    ----------
+    graph:
+        Supplies features and neighbour sampling.
+    manifolds:
+        ``node type -> ProductManifold`` (all with M factors of equal dim).
+    feature_dim:
+        Width of each feature-field embedding.
+    gcn_layers:
+        L, number of context-encoding rounds (0 disables the GCN).
+    neighbor_samples:
+        Neighbours sampled per (node, neighbour-type) during aggregation.
+    use_fusion:
+        Enable the space-fusion stage (ablation ``- fusion``).
+    """
+
+    def __init__(self, graph: HetGraph,
+                 manifolds: Dict[NodeType, ProductManifold],
+                 feature_dim: int = 8, gcn_layers: int = 1,
+                 neighbor_samples: int = 4, use_fusion: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        self.graph = graph
+        self.manifolds = manifolds
+        self.gcn_layers = int(gcn_layers)
+        self.neighbor_samples = int(neighbor_samples)
+        self.use_fusion = bool(use_fusion)
+        rng = rng or np.random.default_rng(0)
+        self._rng = rng
+
+        reference = next(iter(manifolds.values()))
+        self.num_subspaces = len(reference)
+        self.subspace_dim = reference.factors[0].dim
+        for manifold in manifolds.values():
+            if len(manifold) != self.num_subspaces:
+                raise ValueError("all node types must use the same number of subspaces")
+
+        self.embeddings: Dict[NodeType, FeatureEmbedding] = {}
+        vocab_sizes = self._vocab_sizes(graph)
+        for node_type, sizes in vocab_sizes.items():
+            self.embeddings[node_type] = FeatureEmbedding(
+                node_type, sizes, feature_dim, self.num_subspaces,
+                self.subspace_dim, rng)
+
+        # GCN weights W^{m,t,l}: (2d -> d), paper Eq. 6
+        self.gcn_weights: Dict[tuple, Parameter] = {}
+        for node_type in self.embeddings:
+            for layer in range(self.gcn_layers):
+                for m in range(self.num_subspaces):
+                    self.gcn_weights[(node_type, layer, m)] = Parameter(
+                        glorot(rng, 2 * self.subspace_dim, self.subspace_dim))
+
+        # fusion weights W1^{m,t}: (2d -> d), paper Eq. 8
+        self.fusion_weights: Dict[tuple, Parameter] = {}
+        if self.use_fusion:
+            for node_type in self.embeddings:
+                for m in range(self.num_subspaces):
+                    self.fusion_weights[(node_type, m)] = Parameter(
+                        glorot(rng, 2 * self.subspace_dim, self.subspace_dim))
+
+        # Möbius biases (tangent parameters, see module docstring)
+        self.inductive_bias: Dict[tuple, Parameter] = {}
+        self.gcn_bias: Dict[tuple, Parameter] = {}
+        for node_type in self.embeddings:
+            for m in range(self.num_subspaces):
+                self.inductive_bias[(node_type, m)] = Parameter(
+                    rng.normal(scale=0.05, size=self.subspace_dim))
+                for layer in range(self.gcn_layers):
+                    self.gcn_bias[(node_type, layer, m)] = Parameter(
+                        rng.normal(scale=0.05, size=self.subspace_dim))
+
+    @staticmethod
+    def _vocab_sizes(graph: HetGraph) -> Dict[NodeType, Dict[str, int]]:
+        """Infer per-field vocabulary sizes from the stored features."""
+        sizes: Dict[NodeType, Dict[str, int]] = {}
+        for node_type, fields in graph.features.items():
+            sizes[node_type] = {}
+            for field, values in fields.items():
+                values = np.asarray(values)
+                sizes[node_type][field] = int(values.max()) + 1
+        return sizes
+
+    # -- stage 1: inductive learning (Eq. 4) ------------------------------------
+
+    def inductive(self, node_type: NodeType, indices: np.ndarray) -> List[Tensor]:
+        """Initial subspace points from features only (Eq. 4 + Möbius bias)."""
+        tangents = self.embeddings[node_type].forward(
+            self.graph.features[node_type], indices)
+        manifold = self.manifolds[node_type]
+        out = []
+        for m, (factor, tangent) in enumerate(zip(manifold.factors, tangents)):
+            point = factor.expmap0(tangent)
+            bias_point = factor.expmap0(self.inductive_bias[(node_type, m)])
+            out.append(factor.project(factor.mobius_add(point, bias_point)))
+        return out
+
+    # -- stage 2: context encoding (Eq. 5-6) -------------------------------------
+
+    def _aggregate(self, node_type: NodeType, indices: np.ndarray,
+                   layer: int, rng: np.random.Generator) -> List[Tensor]:
+        """One GCN round: returns updated subspace points."""
+        self_points = self._encode_layer(node_type, indices, layer, rng)
+        manifold = self.manifolds[node_type]
+        batch = len(indices)
+        k = self.neighbor_samples
+
+        # tangent aggregation per subspace, summed over neighbour types
+        neighbor_sums: List[Optional[Tensor]] = [None] * self.num_subspaces
+        for other_type in NodeType:
+            if self.graph.num_nodes[other_type] == 0:
+                continue
+            neigh_ids, mask = self.graph.sample_neighbors(
+                rng, node_type, indices, other_type, k)
+            if mask.sum() == 0:
+                continue
+            neigh_points = self._encode_layer(
+                other_type, neigh_ids.ravel(), layer, rng)
+            other_manifold = self.manifolds[other_type]
+            mask_t = Tensor(mask[..., None])                    # (B, k, 1)
+            denom = Tensor(np.maximum(mask.sum(axis=1, keepdims=True), 1.0))
+            for m in range(self.num_subspaces):
+                tangent = other_manifold.factors[m].logmap0(neigh_points[m])
+                tangent = tangent.reshape(batch, k, self.subspace_dim)
+                pooled = ops.sum(tangent * mask_t, axis=1) / denom
+                if neighbor_sums[m] is None:
+                    neighbor_sums[m] = pooled
+                else:
+                    neighbor_sums[m] = neighbor_sums[m] + pooled
+
+        updated: List[Tensor] = []
+        for m in range(self.num_subspaces):
+            factor = self.manifolds[node_type].factors[m]
+            self_tangent = factor.logmap0(self_points[m])
+            agg = neighbor_sums[m]
+            if agg is None:
+                agg = Tensor(np.zeros((batch, self.subspace_dim)))
+            combined = ops.concatenate([agg, self_tangent], axis=-1)  # Eq. 5
+            weight = self.gcn_weights[(node_type, layer, m)]
+            # Eq. 6: exp -> Mobius matvec (+ Mobius bias) -> curved activation
+            point = factor.expmap0(combined)
+            point = factor.matvec(weight, point)
+            bias_point = factor.expmap0(self.gcn_bias[(node_type, layer, m)])
+            point = factor.mobius_add(point, bias_point)
+            point = factor.activation(point, ops.tanh)
+            updated.append(factor.project(point))
+        return updated
+
+    def _encode_layer(self, node_type: NodeType, indices: np.ndarray,
+                      layer: int, rng: np.random.Generator) -> List[Tensor]:
+        if layer == 0:
+            return self.inductive(node_type, indices)
+        return self._aggregate(node_type, indices, layer - 1, rng)
+
+    # -- stage 3: space fusion (Eq. 7-8) --------------------------------------------
+
+    def _fuse(self, node_type: NodeType, points: List[Tensor]) -> List[Tensor]:
+        manifold = self.manifolds[node_type]
+        tangents = [factor.logmap0(point)
+                    for factor, point in zip(manifold.factors, points)]
+        stacked = ops.stack(tangents, axis=0)
+        fused = ops.mean(stacked, axis=0)                     # Eq. 7
+        out: List[Tensor] = []
+        for m, factor in enumerate(manifold.factors):
+            combined = ops.concatenate([fused, tangents[m]], axis=-1)
+            weight = self.fusion_weights[(node_type, m)]
+            point = factor.expmap0(ops.matmul(combined, weight))  # Eq. 8
+            out.append(factor.project(point))
+        return out
+
+    # -- public entry point ----------------------------------------------------------
+
+    def encode(self, node_type: NodeType, indices: np.ndarray,
+               rng: Optional[np.random.Generator] = None) -> List[Tensor]:
+        """Full node representation: one point tensor per subspace.
+
+        Output: list of M tensors shaped ``(len(indices), subspace_dim)``.
+        """
+        rng = rng or self._rng
+        indices = np.asarray(indices, dtype=np.int64)
+        points = self._encode_layer(node_type, indices, self.gcn_layers, rng)
+        if self.use_fusion:
+            points = self._fuse(node_type, points)
+        return points
+
+    def parameters(self) -> Iterable[Parameter]:
+        for embedding in self.embeddings.values():
+            yield from embedding.parameters()
+        yield from self.gcn_weights.values()
+        yield from self.fusion_weights.values()
+        yield from self.inductive_bias.values()
+        yield from self.gcn_bias.values()
+        for manifold in self.manifolds.values():
+            yield from manifold.parameters()
+
+    def constrain(self) -> None:
+        """Clamp all curvatures to their stability ranges."""
+        for manifold in self.manifolds.values():
+            manifold.constrain()

@@ -1,0 +1,35 @@
+"""Retrieval system: MNN search, inverted indices, two-layer serving.
+
+Reproduces the deployment half of AMCAD (paper §IV-C, Fig. 6):
+
+- :mod:`repro.retrieval.mnn` — Mixed-curvature Nearest Neighbour
+  search.  The paper notes product quantisation cannot handle the
+  attention-weighted metric, so MNN is exact brute force distributed
+  over workers with data-level (OpenMP) and instruction-level (SIMD)
+  parallelism; here that is chunked numpy (vector units) plus an
+  optional thread pool (data parallel);
+- :mod:`repro.retrieval.index` — the six inverted indices
+  (Q2Q/Q2I/I2Q/I2I/Q2A/I2A) built offline from trained embeddings;
+- :mod:`repro.retrieval.two_layer` — the two-layer online retrieval
+  framework: layer 1 expands the query and pre-click items into related
+  keys, layer 2 retrieves ads through the key→ad indices;
+- :mod:`repro.retrieval.serving` — an M/M/c queueing simulator mapping
+  measured per-request service times to the response-time-vs-QPS curve
+  of paper Fig. 9.
+"""
+
+from repro.retrieval.mnn import MNNSearcher, RelationSpace
+from repro.retrieval.index import IndexSet, InvertedIndex
+from repro.retrieval.two_layer import RetrievalResult, TwoLayerRetriever
+from repro.retrieval.serving import ServingSimulator, ServingStats
+
+__all__ = [
+    "RelationSpace",
+    "MNNSearcher",
+    "InvertedIndex",
+    "IndexSet",
+    "TwoLayerRetriever",
+    "RetrievalResult",
+    "ServingSimulator",
+    "ServingStats",
+]

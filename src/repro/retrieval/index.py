@@ -1,0 +1,114 @@
+"""Offline inverted-index construction (paper §IV-C-1, Fig. 6).
+
+An :class:`InvertedIndex` maps each key node to its K nearest result
+nodes under the mixed-curvature metric.  :class:`IndexSet` builds the
+six indices the two-layer retrieval framework needs — Q2Q, Q2I, I2Q,
+I2I (layer one: key expansion) and Q2A, I2A (layer two: ad retrieval) —
+from one trained model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.schema import Relation
+from repro.retrieval.mnn import MNNSearcher, RelationSpace
+
+#: Layer-one (key expansion) and layer-two (ad retrieval) relations.
+LAYER_ONE = (Relation.Q2Q, Relation.Q2I, Relation.I2Q, Relation.I2I)
+LAYER_TWO = (Relation.Q2A, Relation.I2A)
+
+
+@dataclasses.dataclass
+class InvertedIndex:
+    """key node id -> (top-K result ids, distances)."""
+
+    relation: Relation
+    ids: np.ndarray        # (N, K) result node ids
+    distances: np.ndarray  # (N, K) ascending distances
+    build_seconds: float
+
+    def lookup(self, key: int, k: Optional[int] = None
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Results for one key, optionally truncated to ``k``."""
+        k = k if k is not None else self.ids.shape[1]
+        return self.ids[key, :k], self.distances[key, :k]
+
+    def lookup_batch(self, keys: np.ndarray, k: Optional[int] = None
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        k = k if k is not None else self.ids.shape[1]
+        keys = np.asarray(keys, dtype=np.int64)
+        return self.ids[keys, :k], self.distances[keys, :k]
+
+    @property
+    def num_keys(self) -> int:
+        return self.ids.shape[0]
+
+
+class IndexSet:
+    """Builds and holds the six inverted indices for one model.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.models.amcad.AMCAD` (or any object
+        exposing ``encode``/``scorer``/``graph``).
+    top_k:
+        Results stored per key.
+    num_workers:
+        MNN thread-pool width per index build.
+    """
+
+    def __init__(self, model, top_k: int = 50, num_workers: int = 1,
+                 batch_size: int = 256):
+        self.model = model
+        self.top_k = int(top_k)
+        self.num_workers = int(num_workers)
+        self.batch_size = int(batch_size)
+        self.indices: Dict[Relation, InvertedIndex] = {}
+        self.spaces: Dict[Relation, RelationSpace] = {}
+
+    def build(self, relations: Optional[Sequence[Relation]] = None
+              ) -> "IndexSet":
+        """Construct indices for the given relations (default: all six)."""
+        relations = list(relations or (LAYER_ONE + LAYER_TWO))
+        for relation in relations:
+            self.build_one(relation)
+        return self
+
+    def build_one(self, relation: Relation) -> InvertedIndex:
+        """Build a single inverted index via MNN search."""
+        start = time.perf_counter()
+        space = RelationSpace.from_model(self.model, relation)
+        searcher = MNNSearcher(space, num_workers=self.num_workers)
+        same_type = relation.source_type == relation.target_type
+        n_src = space.num_sources
+        k = min(self.top_k, space.num_targets - (1 if same_type else 0))
+        all_ids = np.zeros((n_src, k), dtype=np.int64)
+        all_dists = np.zeros((n_src, k))
+        for chunk_start in range(0, n_src, self.batch_size):
+            chunk = np.arange(chunk_start,
+                              min(chunk_start + self.batch_size, n_src))
+            ids, dists = searcher.search(chunk, k, exclude_self=same_type)
+            all_ids[chunk] = ids
+            all_dists[chunk] = dists
+        elapsed = time.perf_counter() - start
+        index = InvertedIndex(relation=relation, ids=all_ids,
+                              distances=all_dists, build_seconds=elapsed)
+        self.indices[relation] = index
+        self.spaces[relation] = space
+        return index
+
+    def __getitem__(self, relation: Relation) -> InvertedIndex:
+        return self.indices[relation]
+
+    def __contains__(self, relation: Relation) -> bool:
+        return relation in self.indices
+
+    @property
+    def total_build_seconds(self) -> float:
+        return float(np.sum([ix.build_seconds for ix in self.indices.values()]))

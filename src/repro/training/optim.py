@@ -1,0 +1,97 @@
+"""Optimiser and the numerical-stability measures of paper §V-B.
+
+The paper trains with *vanilla AdaGrad* because all parameters live in
+tangent spaces (the manifold structure is applied by exp-maps inside
+the forward pass, so no Riemannian optimiser is needed), and it
+stabilises curved training with gradient clipping and learning-rate
+warm-up — both implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.autodiff.tensor import Parameter
+
+
+def clip_gradients(parameters: Iterable[Parameter],
+                   max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is ≤ ``max_norm``.
+
+    Returns the pre-clip global norm (useful for monitoring the
+    gradient explosions §V-B warns about).
+    """
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(np.sum([float((p.grad ** 2).sum()) for p in params])))
+    if max_norm > 0 and total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class WarmupSchedule:
+    """Linear learning-rate warm-up followed by a constant rate."""
+
+    def __init__(self, base_rate: float, warmup_steps: int):
+        self.base_rate = float(base_rate)
+        self.warmup_steps = max(int(warmup_steps), 0)
+
+    def rate(self, step: int) -> float:
+        if self.warmup_steps == 0 or step >= self.warmup_steps:
+            return self.base_rate
+        return self.base_rate * (step + 1) / self.warmup_steps
+
+
+class AdaGrad:
+    """Vanilla AdaGrad over a fixed parameter list.
+
+    Parameters
+    ----------
+    parameters:
+        Trainable tensors (materialised once — the set must be stable).
+    learning_rate:
+        Base step size (paper grid-searches to 1e-2).
+    warmup_steps:
+        Linear warm-up horizon (paper §V-B).
+    clip_norm:
+        Global gradient-norm clip; 0 disables.
+    epsilon:
+        Accumulator damping term.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter],
+                 learning_rate: float = 1e-2, warmup_steps: int = 0,
+                 clip_norm: float = 5.0, epsilon: float = 1e-8):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("no parameters to optimise")
+        self.schedule = WarmupSchedule(learning_rate, warmup_steps)
+        self.clip_norm = float(clip_norm)
+        self.epsilon = float(epsilon)
+        self.step_count = 0
+        self._accumulators = [np.zeros_like(p.data) for p in self.parameters]
+        self.last_grad_norm = 0.0
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update from accumulated gradients."""
+        self.last_grad_norm = clip_gradients(self.parameters, self.clip_norm)
+        rate = self.schedule.rate(self.step_count)
+        for param, accumulator in zip(self.parameters, self._accumulators):
+            if param.grad is None:
+                continue
+            accumulator += param.grad ** 2
+            param.data -= rate * param.grad / (np.sqrt(accumulator) + self.epsilon)
+        self.step_count += 1
+
+    @property
+    def num_parameters(self) -> int:
+        return int(np.sum([p.size for p in self.parameters]))

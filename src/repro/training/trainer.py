@@ -1,0 +1,131 @@
+"""The joint training loop (paper §IV-B-3, §V-A).
+
+One training iteration mirrors the paper's XDL/Euler deployment loop:
+the worker asks the graph engine for meta-path walk samples plus
+negatives, computes the triplet loss over all relation types jointly,
+and applies an (asynchronous in the paper, synchronous here) AdaGrad
+update.  Curvatures are clamped after every step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.metapath import MetaPathWalker
+from repro.graph.sampling import NegativeSampler
+from repro.models.amcad import AMCAD
+from repro.training.optim import AdaGrad
+
+
+@dataclasses.dataclass
+class TrainerConfig:
+    """Loop hyper-parameters (paper §VI-A-3 scaled down).
+
+    The paper uses batch 1024, K=6 negatives, lr=1e-2; defaults here
+    keep those ratios at laptop scale.
+    """
+
+    steps: int = 60
+    batch_size: int = 64
+    num_negatives: int = 6
+    easy_ratio: float = 2.0 / 3.0
+    learning_rate: float = 1e-2
+    warmup_steps: int = 10
+    clip_norm: float = 5.0
+    seed: int = 0
+
+
+@dataclasses.dataclass
+class TrainingReport:
+    """What a training run produced (losses, wall-clock, grad norms)."""
+
+    losses: List[float]
+    wall_seconds: float
+    steps: int
+    samples_seen: int
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def mean_tail_loss(self) -> float:
+        """Mean of the last quarter of steps — a stable convergence proxy."""
+        if not self.losses:
+            return float("nan")
+        tail = self.losses[-max(1, len(self.losses) // 4):]
+        return float(np.mean(tail))
+
+
+class Trainer:
+    """Trains an :class:`AMCAD` model (or variant) on its graph."""
+
+    def __init__(self, model: AMCAD, config: Optional[TrainerConfig] = None,
+                 walker: Optional[MetaPathWalker] = None,
+                 negative_sampler: Optional[NegativeSampler] = None):
+        self.model = model
+        self.config = config or TrainerConfig()
+        cfg = self.config
+        self.rng = np.random.default_rng(cfg.seed)
+        self.walker = walker or MetaPathWalker(model.graph)
+        self.negative_sampler = negative_sampler or NegativeSampler(
+            model.graph, num_negatives=cfg.num_negatives,
+            easy_ratio=cfg.easy_ratio)
+        self.optimizer = AdaGrad(model.parameters(),
+                                 learning_rate=cfg.learning_rate,
+                                 warmup_steps=cfg.warmup_steps,
+                                 clip_norm=cfg.clip_norm)
+        self._pair_stream = self.walker.iter_pairs(self.rng)
+        self._buffers: dict = {}
+
+    def _next_batch(self):
+        """A relation-homogeneous batch.
+
+        Pairs stream in mixed relation order; buffering until one
+        relation fills a batch keeps every training step a single large
+        batched encode instead of six small ones (≈6× fewer python-op
+        dispatches — all relations still train jointly over steps).
+        """
+        target = self.config.batch_size
+        while True:
+            try:
+                pair = next(self._pair_stream)
+            except StopIteration:  # pragma: no cover - stream is endless
+                break
+            bucket = self._buffers.setdefault(pair.relation, [])
+            bucket.append(pair)
+            if len(bucket) >= target:
+                self._buffers[pair.relation] = []
+                return self.negative_sampler.sample_batch(self.rng, bucket)
+        merged = [p for bucket in self._buffers.values() for p in bucket]
+        self._buffers.clear()
+        return self.negative_sampler.sample_batch(self.rng, merged[:target])
+
+    def train_step(self) -> float:
+        """One batch: sample → loss → backward → clip → AdaGrad → clamp κ."""
+        samples = self._next_batch()
+        self.optimizer.zero_grad()
+        loss = self.model.loss(samples, rng=self.rng)
+        loss.backward()
+        self.optimizer.step()
+        self.model.constrain()
+        return loss.item()
+
+    def train(self, steps: Optional[int] = None,
+              log_every: int = 0) -> TrainingReport:
+        """Run the loop; returns losses and wall-clock time."""
+        steps = steps if steps is not None else self.config.steps
+        losses: List[float] = []
+        start = time.perf_counter()
+        for step in range(steps):
+            losses.append(self.train_step())
+            if log_every and (step + 1) % log_every == 0:
+                print("step %4d  loss %.4f  |grad| %.3f" %
+                      (step + 1, losses[-1], self.optimizer.last_grad_norm))
+        elapsed = time.perf_counter() - start
+        return TrainingReport(losses=losses, wall_seconds=elapsed, steps=steps,
+                              samples_seen=steps * self.config.batch_size)

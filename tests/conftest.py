@@ -1,0 +1,45 @@
+"""Shared fixtures: a small simulated platform and its graphs.
+
+Session-scoped so the whole suite pays graph construction once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import SimulatorConfig, SponsoredSearchSimulator
+from repro.graph import build_graph
+
+
+SMALL_CONFIG = SimulatorConfig(
+    num_queries=220, num_items=320, num_ads=90, num_users=160,
+    tree_depth=3, tree_branching=2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def simulator():
+    return SponsoredSearchSimulator(SMALL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def universe(simulator):
+    return simulator.universe
+
+
+@pytest.fixture(scope="session")
+def daily_logs(simulator):
+    return simulator.simulate_days(3)
+
+
+@pytest.fixture(scope="session")
+def train_graph(universe, daily_logs):
+    return build_graph(universe, daily_logs[:1])
+
+
+@pytest.fixture(scope="session")
+def next_graph(universe, daily_logs):
+    return build_graph(universe, daily_logs[1:2])
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)

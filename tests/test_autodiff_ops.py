@@ -1,0 +1,277 @@
+"""Gradient correctness tests for every autodiff op (vs finite differences)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Parameter, Tensor, ops
+
+
+def finite_difference_check(fn, params, eps=1e-6, tol=2e-4):
+    """Compare autodiff gradients of scalar fn() against central differences."""
+    out = fn()
+    out.backward()
+    analytic = [p.grad.copy() for p in params]
+    for p, grad in zip(params, analytic):
+        numeric = np.zeros_like(p.data)
+        it = np.nditer(p.data, flags=["multi_index"])
+        for _ in it:
+            idx = it.multi_index
+            original = p.data[idx]
+            p.data[idx] = original + eps
+            up = fn().item()
+            p.data[idx] = original - eps
+            down = fn().item()
+            p.data[idx] = original
+            numeric[idx] = (up - down) / (2 * eps)
+        assert np.max(np.abs(numeric - grad)) < tol, (
+            "gradient mismatch: analytic %r vs numeric %r" % (grad, numeric))
+        p.zero_grad()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        b = Parameter(rng.normal(size=(4,)))
+        finite_difference_check(lambda: ops.sum(a + b), [a, b])
+
+    def test_sub_scalar_left(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        finite_difference_check(lambda: ops.sum(1.5 - a), [a])
+
+    def test_mul_broadcast(self, rng):
+        a = Parameter(rng.normal(size=(2, 3)))
+        b = Parameter(rng.normal(size=(1, 3)))
+        finite_difference_check(lambda: ops.sum(a * b), [a, b])
+
+    def test_div(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        b = Parameter(rng.normal(size=(3,)) + 3.0)
+        finite_difference_check(lambda: ops.sum(a / b), [a, b])
+
+    def test_power(self, rng):
+        a = Parameter(np.abs(rng.normal(size=(3,))) + 0.5)
+        finite_difference_check(lambda: ops.sum(a ** 3.0), [a])
+
+    def test_neg(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        finite_difference_check(lambda: ops.sum(-a), [a])
+
+
+class TestMatmulGradients:
+    def test_2d_2d(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        b = Parameter(rng.normal(size=(4, 2)))
+        finite_difference_check(lambda: ops.sum(a @ b), [a, b])
+
+    def test_1d_2d(self, rng):
+        a = Parameter(rng.normal(size=(4,)))
+        b = Parameter(rng.normal(size=(4, 2)))
+        finite_difference_check(lambda: ops.sum(a @ b), [a, b])
+
+    def test_2d_1d(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        b = Parameter(rng.normal(size=(4,)))
+        finite_difference_check(lambda: ops.sum(a @ b), [a, b])
+
+    def test_batched(self, rng):
+        a = Parameter(rng.normal(size=(2, 3, 4)))
+        b = Parameter(rng.normal(size=(2, 4, 2)))
+        finite_difference_check(lambda: ops.sum(a @ b), [a, b])
+
+
+class TestReductionGradients:
+    def test_sum_axis_keepdims(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        finite_difference_check(
+            lambda: ops.sum(ops.sum(a, axis=1, keepdims=True) * 2.0), [a])
+
+    def test_mean_axis(self, rng):
+        a = Parameter(rng.normal(size=(3, 4)))
+        finite_difference_check(lambda: ops.sum(ops.mean(a, axis=0)), [a])
+
+    def test_mean_global(self, rng):
+        a = Parameter(rng.normal(size=(5,)))
+        finite_difference_check(lambda: ops.mean(a), [a])
+
+
+class TestNonlinearityGradients:
+    @pytest.mark.parametrize("op", [ops.exp, ops.tanh, ops.sigmoid, ops.arctan])
+    def test_unbounded_domain(self, rng, op):
+        a = Parameter(rng.normal(size=(4,)))
+        finite_difference_check(lambda: ops.sum(op(a)), [a])
+
+    def test_log(self, rng):
+        a = Parameter(np.abs(rng.normal(size=(4,))) + 0.5)
+        finite_difference_check(lambda: ops.sum(ops.log(a)), [a])
+
+    def test_sqrt(self, rng):
+        a = Parameter(np.abs(rng.normal(size=(4,))) + 0.5)
+        finite_difference_check(lambda: ops.sum(ops.sqrt(a)), [a])
+
+    def test_tan_within_domain(self, rng):
+        a = Parameter(rng.uniform(-1.0, 1.0, size=(4,)))
+        finite_difference_check(lambda: ops.sum(ops.tan(a)), [a])
+
+    def test_arctanh_within_domain(self, rng):
+        a = Parameter(rng.uniform(-0.8, 0.8, size=(4,)))
+        finite_difference_check(lambda: ops.sum(ops.arctanh(a)), [a])
+
+    def test_relu_gradient_masked(self):
+        a = Parameter(np.array([-1.0, 2.0, -3.0, 4.0]))
+        ops.sum(ops.relu(a)).backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0, 1.0])
+
+    def test_abs(self, rng):
+        a = Parameter(rng.normal(size=(4,)) + 2.0)
+        finite_difference_check(lambda: ops.sum(ops.abs_(a)), [a])
+
+
+class TestClipWhereMaximum:
+    def test_clip_masks_gradient_outside(self):
+        a = Parameter(np.array([-2.0, 0.5, 2.0]))
+        ops.sum(ops.clip(a, -1.0, 1.0)).backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_clip_values(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]))
+        assert np.allclose(ops.clip(a, -1.0, 1.0).data, [-1.0, 0.5, 1.0])
+
+    def test_where_routes_gradient(self):
+        a = Parameter(np.array([1.0, 2.0]))
+        b = Parameter(np.array([3.0, 4.0]))
+        cond = np.array([True, False])
+        ops.sum(ops.where(cond, a, b)).backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+    def test_maximum_routes_gradient(self):
+        a = Parameter(np.array([1.0, 5.0]))
+        b = Parameter(np.array([3.0, 4.0]))
+        ops.sum(ops.maximum(a, b)).backward()
+        assert np.allclose(a.grad, [0.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 0.0])
+
+
+class TestSoftmaxNorm:
+    def test_softmax_rows_sum_to_one(self, rng):
+        a = Tensor(rng.normal(size=(5, 7)))
+        s = ops.softmax(a, axis=-1)
+        assert np.allclose(s.data.sum(axis=-1), 1.0)
+
+    def test_softmax_gradient(self, rng):
+        a = Parameter(rng.normal(size=(2, 3)))
+        mask = rng.normal(size=(2, 3))
+        finite_difference_check(
+            lambda: ops.sum(ops.softmax(a, axis=-1) * Tensor(mask)), [a])
+
+    def test_softmax_stable_for_large_logits(self):
+        a = Tensor(np.array([[1000.0, 1000.0]]))
+        s = ops.softmax(a, axis=-1)
+        assert np.allclose(s.data, 0.5)
+
+    def test_norm_value(self, rng):
+        a = Tensor(rng.normal(size=(4, 3)))
+        n = ops.norm(a, axis=-1)
+        assert np.allclose(n.data[:, 0],
+                           np.linalg.norm(a.data, axis=-1), atol=1e-6)
+
+    def test_norm_gradient_finite_at_zero(self):
+        a = Parameter(np.zeros((2, 3)))
+        ops.sum(ops.norm(a, axis=-1)).backward()
+        assert np.all(np.isfinite(a.grad))
+
+
+class TestIndexingShapes:
+    def test_gather_accumulates_duplicates(self, rng):
+        table = Parameter(rng.normal(size=(6, 3)))
+        idx = np.array([2, 2, 5])
+        ops.sum(ops.gather(table, idx)).backward()
+        assert np.allclose(table.grad[2], 2.0)
+        assert np.allclose(table.grad[5], 1.0)
+        assert np.allclose(table.grad[0], 0.0)
+
+    def test_gather_2d_index(self, rng):
+        table = Parameter(rng.normal(size=(6, 3)))
+        idx = np.array([[0, 1], [1, 2]])
+        out = ops.gather(table, idx)
+        assert out.shape == (2, 2, 3)
+        ops.sum(out).backward()
+        assert np.allclose(table.grad[1], 2.0)
+
+    def test_getitem_slice(self, rng):
+        a = Parameter(rng.normal(size=(5, 3)))
+        ops.sum(a[1:3]).backward()
+        assert np.allclose(a.grad[1:3], 1.0)
+        assert np.allclose(a.grad[0], 0.0)
+
+    def test_getitem_fancy(self, rng):
+        a = Parameter(rng.normal(size=(5, 3)))
+        ops.sum(a[np.array([0, 0, 4])]).backward()
+        assert np.allclose(a.grad[0], 2.0)
+
+    def test_reshape_roundtrip_gradient(self, rng):
+        a = Parameter(rng.normal(size=(2, 6)))
+        finite_difference_check(
+            lambda: ops.sum(ops.reshape(a, (3, 4)) * 2.0), [a])
+
+    def test_transpose_gradient(self, rng):
+        a = Parameter(rng.normal(size=(2, 3)))
+        mask = rng.normal(size=(3, 2))
+        finite_difference_check(
+            lambda: ops.sum(ops.transpose(a) * Tensor(mask)), [a])
+
+    def test_concatenate_gradient(self, rng):
+        a = Parameter(rng.normal(size=(2, 2)))
+        b = Parameter(rng.normal(size=(2, 3)))
+        mask = rng.normal(size=(2, 5))
+        finite_difference_check(
+            lambda: ops.sum(ops.concatenate([a, b], axis=-1) * Tensor(mask)),
+            [a, b])
+
+    def test_stack_gradient(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        b = Parameter(rng.normal(size=(3,)))
+        mask = rng.normal(size=(2, 3))
+        finite_difference_check(
+            lambda: ops.sum(ops.stack([a, b], axis=0) * Tensor(mask)), [a, b])
+
+    def test_expand_dims(self, rng):
+        a = Parameter(rng.normal(size=(3,)))
+        out = ops.expand_dims(a, 0)
+        assert out.shape == (1, 3)
+        ops.sum(out).backward()
+        assert np.allclose(a.grad, 1.0)
+
+
+class TestDropout:
+    def test_identity_when_not_training(self, rng):
+        a = Tensor(rng.normal(size=(4,)))
+        out = ops.dropout(a, 0.5, rng, training=False)
+        assert np.allclose(out.data, a.data)
+
+    def test_scales_kept_values(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(np.ones(1000))
+        out = ops.dropout(a, 0.5, rng, training=True)
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 2.0)
+        # roughly half survive
+        assert 300 < kept.size < 700
+
+
+class TestLogsumexp:
+    def test_matches_naive(self, rng):
+        a = Tensor(rng.normal(size=(4, 5)))
+        out = ops.logsumexp(a, axis=-1, keepdims=True)
+        naive = np.log(np.exp(a.data).sum(axis=-1, keepdims=True))
+        assert np.allclose(out.data, naive, atol=1e-10)
+
+    def test_stable_for_large_values(self):
+        a = Tensor(np.array([[1000.0, 999.0]]))
+        out = ops.logsumexp(a, axis=-1, keepdims=True)
+        assert np.isfinite(out.data).all()

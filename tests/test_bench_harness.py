@@ -1,0 +1,64 @@
+"""Tests for the shared benchmark harness."""
+
+import numpy as np
+import pytest
+
+import repro.bench as bench
+
+
+class TestScale:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench.bench_scale() == 1.0
+        assert bench.scaled_steps(100) == 100
+
+    def test_scale_env_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert bench.scaled_steps(100) == 50
+
+    def test_scaled_steps_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+        assert bench.scaled_steps(100) == 10
+
+
+class TestDataset:
+    def test_load_dataset_cached(self):
+        a = bench.load_dataset()
+        b = bench.load_dataset()
+        assert a is b
+
+    def test_dataset_fields(self):
+        data = bench.load_dataset()
+        assert data.train_graph.num_edges() > 0
+        assert data.next_graph.num_edges() > 0
+        assert data.truth_items
+        assert data.truth_ads
+        assert data.universe is data.simulator.universe
+
+
+class TestReports:
+    def test_write_report_creates_file(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(bench, "RESULTS_DIR", tmp_path)
+        path = bench.write_report("x.txt", "title", ["line one", "line two"])
+        assert path.exists()
+        text = path.read_text()
+        assert "title" in text
+        assert "line two" in text
+
+
+class TestPipelines:
+    def test_run_skipgram_baseline_small(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        data = bench.load_dataset()
+        result = bench.run_skipgram_baseline("deepwalk", data,
+                                             num_pairs=4000)
+        assert np.isfinite(result.next_auc)
+        assert "hr@10" in result.q2i
+        assert result.train_seconds > 0
+        assert "deepwalk" in result.row()
+
+    def test_run_geometric_model_small(self):
+        data = bench.load_dataset()
+        result = bench.run_geometric_model("amcad_e", data, steps=12)
+        assert np.isfinite(result.next_auc)
+        assert result.q2a["hr@100"] >= 0

@@ -1,0 +1,208 @@
+"""Tests for offline metrics and the A/B test simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.logs import BehaviorLog, Session
+from repro.evaluation import (
+    ABTestConfig,
+    auc_from_scores,
+    evaluate_ranking,
+    ground_truth_from_log,
+    hitrate_at_k,
+    ndcg_at_k,
+    next_auc,
+    run_ab_test,
+)
+from repro.graph.schema import NodeRef, NodeType, Relation
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert auc_from_scores(np.array([3.0, 4.0]), np.array([1.0, 2.0])) == 1.0
+
+    def test_inverted_separation(self):
+        assert auc_from_scores(np.array([1.0, 2.0]), np.array([3.0, 4.0])) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        auc = auc_from_scores(rng.normal(size=2000), rng.normal(size=2000))
+        assert 0.47 < auc < 0.53
+
+    def test_ties_average(self):
+        auc = auc_from_scores(np.array([1.0]), np.array([1.0]))
+        assert auc == 0.5
+
+    def test_empty_inputs_nan(self):
+        assert np.isnan(auc_from_scores(np.array([]), np.array([1.0])))
+
+    def test_matches_sklearn_style_definition(self):
+        # AUC = P(pos > neg) + 0.5 P(pos == neg), brute-force comparison
+        rng = np.random.default_rng(1)
+        pos = rng.normal(loc=0.5, size=50)
+        neg = rng.normal(size=80)
+        expected = np.mean([(p > n) + 0.5 * (p == n)
+                            for p in pos for n in neg])
+        assert np.isclose(auc_from_scores(pos, neg), expected, atol=1e-12)
+
+
+class TestNextAUC:
+    def test_trained_model_beats_random_scorer(self, next_graph, rng):
+        def random_scorer(relation, src, dst):
+            return rng.normal(size=len(np.asarray(src)))
+
+        auc = next_auc(random_scorer, next_graph, num_samples=200, seed=0)
+        assert 40.0 < auc < 60.0
+
+    def test_oracle_scorer_wins(self, next_graph, universe):
+        """Scoring by category match should beat random clearly."""
+        tree = universe.category_tree
+
+        def oracle(relation, src, dst):
+            src_cats = next_graph.categories[relation.source_type][np.asarray(src)]
+            dst_cats = next_graph.categories[relation.target_type][np.asarray(dst)]
+            return np.array([-tree.tree_distance(int(a), int(b))
+                             for a, b in zip(src_cats, dst_cats)], dtype=float)
+
+        auc = next_auc(oracle, next_graph, num_samples=300, seed=0)
+        assert auc > 70.0
+
+
+class TestRankingMetrics:
+    def test_hitrate(self):
+        assert hitrate_at_k([1, 2, 3], [2, 9], k=3) == 0.5
+        assert hitrate_at_k([1, 2], [3], k=2) == 0.0
+        assert np.isnan(hitrate_at_k([1], [], k=1))
+
+    def test_ndcg_perfect_ranking(self):
+        assert ndcg_at_k([5, 6, 7], [5, 6, 7], k=3) == pytest.approx(1.0)
+
+    def test_ndcg_order_matters(self):
+        good = ndcg_at_k([5, 1, 2], [5], k=3)
+        bad = ndcg_at_k([1, 2, 5], [5], k=3)
+        assert good > bad
+
+    def test_evaluate_ranking_oracle(self):
+        truth = {0: [10, 11], 1: [12]}
+
+        def retrieve(queries, k):
+            lookup = {0: [10, 11] + list(range(50, 50 + k)),
+                      1: [12] + list(range(70, 70 + k))}
+            return np.array([lookup[int(q)][:k] for q in queries])
+
+        metrics = evaluate_ranking(retrieve, truth, ks=(2,))
+        assert metrics.hitrate[2] == 1.0
+        assert metrics.ndcg[2] == pytest.approx(1.0)
+        assert metrics.num_queries == 2
+
+    def test_evaluate_ranking_row_scale(self):
+        truth = {0: [1]}
+        metrics = evaluate_ranking(
+            lambda q, k: np.array([[1] + [99] * (k - 1)]), truth, ks=(5,))
+        row = metrics.row()
+        assert row["hr@5"] == 100.0
+
+    def test_max_queries_subsamples(self):
+        truth = {i: [i] for i in range(50)}
+        calls = {}
+
+        def retrieve(queries, k):
+            calls["n"] = len(queries)
+            return np.zeros((len(queries), k), dtype=int)
+
+        evaluate_ranking(retrieve, truth, ks=(1,), max_queries=10)
+        assert calls["n"] == 10
+
+
+class TestGroundTruth:
+    def test_sorted_by_click_count(self):
+        log = BehaviorLog(day=1, sessions=[
+            Session(0, 7, [NodeRef(NodeType.ITEM, 1)]),
+            Session(1, 7, [NodeRef(NodeType.ITEM, 2),
+                           NodeRef(NodeType.ITEM, 2)]),
+            Session(2, 7, [NodeRef(NodeType.ITEM, 2)]),
+        ])
+        truth = ground_truth_from_log(log, NodeType.ITEM)
+        assert truth[7] == [2, 1]
+
+    def test_filters_by_type(self):
+        log = BehaviorLog(day=1, sessions=[
+            Session(0, 3, [NodeRef(NodeType.AD, 4)]),
+        ])
+        assert ground_truth_from_log(log, NodeType.ITEM) == {}
+        assert ground_truth_from_log(log, NodeType.AD) == {3: [4]}
+
+
+class _FixedRetriever:
+    """Serves a fixed ad ranking regardless of the request."""
+
+    def __init__(self, ads):
+        self._ads = np.asarray(ads)
+
+    def retrieve(self, query, preclicks, k):
+        class R:
+            pass
+
+        r = R()
+        r.ads = self._ads[:k]
+        return r
+
+
+class TestABTest:
+    def test_relevant_channel_beats_offtopic(self, universe):
+        """A channel serving intent-matched ads must lift CTR and RPM."""
+        # control: always the same (mostly irrelevant) ads
+        control = _FixedRetriever(np.arange(20))
+
+        class OracleRetriever:
+            def __init__(self, universe):
+                self.by_leaf = {
+                    leaf: np.flatnonzero(universe.ads.category == leaf)
+                    for leaf in universe.category_tree.leaves}
+                self.universe = universe
+
+            def retrieve(self, query, preclicks, k):
+                leaf = int(self.universe.queries.category[query])
+                tree = self.universe.category_tree
+                if not tree.is_leaf(leaf):
+                    # broad query: descend to its first leaf
+                    node = leaf
+                    while not tree.is_leaf(node):
+                        node = tree.children[node][0]
+                    leaf = node
+                pool = self.by_leaf.get(leaf, np.arange(k))
+
+                class R:
+                    pass
+
+                r = R()
+                if pool.size == 0:
+                    pool = np.arange(k)
+                r.ads = np.resize(pool, k)
+                return r
+
+        config = ABTestConfig(num_requests=250, seed=3)
+        result = run_ab_test(universe, control, OracleRetriever(universe),
+                             config)
+        assert result.ctr_lift()["overall"] > 0
+        assert result.rpm_lift()["overall"] > 0
+
+    def test_identical_channels_have_zero_lift(self, universe):
+        channel = _FixedRetriever(np.arange(20))
+        config = ABTestConfig(num_requests=150, seed=1)
+        result = run_ab_test(universe, channel, channel, config)
+        assert result.ctr_lift()["overall"] == pytest.approx(0.0)
+        assert result.rpm_lift()["overall"] == pytest.approx(0.0)
+
+    def test_per_page_keys_present(self, universe):
+        channel = _FixedRetriever(np.arange(20))
+        result = run_ab_test(universe, channel, channel,
+                             ABTestConfig(num_requests=20, num_pages=3))
+        lift = result.ctr_lift()
+        assert set(lift) == {"page 1", "page 2", "page 3", "overall"}
+
+    def test_impressions_counted(self, universe):
+        channel = _FixedRetriever(np.arange(20))
+        config = ABTestConfig(num_requests=10, ads_per_page=4, num_pages=5)
+        result = run_ab_test(universe, channel, channel, config)
+        assert result.control.impressions.sum() == 10 * 20

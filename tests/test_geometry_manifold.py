@@ -1,0 +1,156 @@
+"""Tests for manifold objects and product (mixed-curvature) spaces."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, ops
+from repro.geometry import (
+    Euclidean,
+    Hyperbolic,
+    ProductManifold,
+    Spherical,
+    UnifiedManifold,
+)
+
+
+class TestUnifiedManifold:
+    def test_space_type_labels(self):
+        assert UnifiedManifold(3, -1.0, trainable=False).space_type == "hyperbolic"
+        assert UnifiedManifold(3, 0.0, trainable=False).space_type == "euclidean"
+        assert UnifiedManifold(3, 1.0, trainable=False).space_type == "spherical"
+
+    def test_trainable_kappa_is_parameter(self):
+        m = UnifiedManifold(3, -0.5, trainable=True)
+        assert list(m.parameters())
+        frozen = UnifiedManifold(3, -0.5, trainable=False)
+        assert not list(frozen.parameters())
+
+    def test_constrain_clamps_kappa(self):
+        m = UnifiedManifold(3, 0.0, trainable=True, kappa_bounds=(-1.0, 1.0))
+        m.kappa.data[...] = 9.0
+        m.constrain()
+        assert m.kappa_value == 1.0
+
+    def test_invalid_dim_raises(self):
+        with pytest.raises(ValueError):
+            UnifiedManifold(0)
+
+    def test_factories_validate_sign(self):
+        with pytest.raises(ValueError):
+            Hyperbolic(3, kappa=1.0)
+        with pytest.raises(ValueError):
+            Spherical(3, kappa=-1.0)
+
+    def test_random_point_inside_hyperbolic_ball(self):
+        m = Hyperbolic(4)
+        rng = np.random.default_rng(0)
+        points = m.random_point(rng, 100, tangent_scale=2.0)
+        norms = np.linalg.norm(points.data, axis=-1)
+        assert np.all(norms <= 1.0)
+
+    def test_dist_matches_exp_log_structure(self):
+        m = Hyperbolic(3)
+        rng = np.random.default_rng(1)
+        v = Tensor(rng.normal(scale=0.2, size=(1, 3)))
+        p = m.expmap0(v)
+        origin = Tensor(np.zeros((1, 3)))
+        # distance to origin equals tangent norm (exp is radial isometry)
+        d = m.dist(origin, p).data[0, 0]
+        assert np.isclose(d, 2 * np.arctanh(np.linalg.norm(
+            p.data)), atol=1e-8)
+
+    def test_activation_maps_between_manifolds(self):
+        src = Hyperbolic(3)
+        dst = Spherical(3)
+        rng = np.random.default_rng(2)
+        p = src.random_point(rng, 4)
+        out = src.activation(p, ops.tanh, target=dst)
+        assert out.shape == (4, 3)
+        assert np.all(np.isfinite(out.data))
+
+    def test_matvec_shapes(self):
+        m = UnifiedManifold(3, -0.7, trainable=False)
+        rng = np.random.default_rng(3)
+        p = m.random_point(rng, 5)
+        w = Tensor(rng.normal(size=(3, 2)))
+        out = m.matvec(w, p)
+        assert out.shape == (5, 2)
+
+    def test_origin_shape(self):
+        m = Euclidean(4)
+        assert m.origin(2, 3).shape == (2, 3, 4)
+
+
+class TestProductManifold:
+    def test_requires_factors(self):
+        with pytest.raises(ValueError):
+            ProductManifold([])
+
+    def test_split_concat_roundtrip(self):
+        pm = ProductManifold([Hyperbolic(3), Spherical(2), Euclidean(4)])
+        rng = np.random.default_rng(4)
+        x = pm.random_point(rng, 6)
+        assert x.shape == (6, 9)
+        pieces = pm.split(x)
+        assert [p.shape[-1] for p in pieces] == [3, 2, 4]
+        back = pm.concat(pieces)
+        assert np.allclose(back.data, x.data)
+
+    def test_split_validates_dim(self):
+        pm = ProductManifold([Hyperbolic(3)])
+        with pytest.raises(ValueError):
+            pm.split(Tensor(np.zeros((2, 5))))
+
+    def test_dist_is_sum_of_subspace_distances(self):
+        pm = ProductManifold([Hyperbolic(2), Spherical(2)])
+        rng = np.random.default_rng(5)
+        x = pm.random_point(rng, 4)
+        y = pm.random_point(rng, 4)
+        subs = pm.sub_distances(x, y).data
+        total = pm.dist(x, y).data
+        assert np.allclose(total[:, 0], subs.sum(axis=-1), atol=1e-10)
+
+    def test_weighted_dist(self):
+        pm = ProductManifold([Hyperbolic(2), Spherical(2)])
+        rng = np.random.default_rng(6)
+        x = pm.random_point(rng, 4)
+        y = pm.random_point(rng, 4)
+        weights = Tensor(np.array([[1.0, 0.0]] * 4))
+        weighted = pm.dist(x, y, weights=weights).data[:, 0]
+        subs = pm.sub_distances(x, y).data
+        assert np.allclose(weighted, subs[:, 0], atol=1e-10)
+
+    def test_exp_log_roundtrip(self):
+        pm = ProductManifold.adaptive(3, 4)
+        rng = np.random.default_rng(7)
+        v = Tensor(rng.normal(scale=0.2, size=(5, 12)))
+        back = pm.logmap0(pm.expmap0(v))
+        assert np.allclose(back.data, v.data, atol=1e-7)
+
+    def test_adaptive_spreads_curvatures(self):
+        pm = ProductManifold.adaptive(3, 4)
+        kappas = pm.kappas()
+        assert kappas[0] < 0 < kappas[-1]
+        assert len(set(kappas)) == 3
+
+    def test_adaptive_single_space_starts_flat(self):
+        pm = ProductManifold.adaptive(1, 4)
+        assert pm.kappas() == [0.0]
+
+    def test_signature_string(self):
+        pm = ProductManifold([Hyperbolic(2), Euclidean(3), Spherical(2)])
+        assert pm.signature == "H2 x E3 x S2"
+        adaptive = ProductManifold.adaptive(2, 4)
+        assert adaptive.signature == "U4 x U4"
+
+    def test_parameters_only_from_trainable_factors(self):
+        pm = ProductManifold([Hyperbolic(2),
+                              UnifiedManifold(2, 0.0, trainable=True)])
+        assert len(list(pm.parameters())) == 1
+
+    def test_constrain_all(self):
+        pm = ProductManifold.adaptive(2, 3)
+        for factor in pm.factors:
+            factor.kappa.data[...] = 99.0
+        pm.constrain()
+        assert all(k <= 2.5 for k in pm.kappas())

@@ -1,0 +1,69 @@
+"""Tests for the alias-method sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.alias import AliasSampler
+
+
+class TestAliasSampler:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AliasSampler([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AliasSampler([1.0, -1.0])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            AliasSampler([0.0, 0.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            AliasSampler(np.ones((2, 2)))
+
+    def test_single_outcome(self):
+        sampler = AliasSampler([5.0])
+        rng = np.random.default_rng(0)
+        assert sampler.sample(rng) == 0
+        assert np.all(sampler.sample(rng, size=10) == 0)
+
+    def test_scalar_and_array_forms(self):
+        sampler = AliasSampler([1.0, 1.0, 2.0])
+        rng = np.random.default_rng(0)
+        assert isinstance(sampler.sample(rng), int)
+        batch = sampler.sample(rng, size=(3, 4))
+        assert batch.shape == (3, 4)
+
+    def test_zero_weight_outcome_never_sampled(self):
+        sampler = AliasSampler([1.0, 0.0, 1.0])
+        rng = np.random.default_rng(0)
+        draws = sampler.sample(rng, size=5000)
+        assert not np.any(draws == 1)
+
+    def test_empirical_distribution_matches_weights(self):
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        sampler = AliasSampler(weights)
+        rng = np.random.default_rng(42)
+        draws = sampler.sample(rng, size=200_000)
+        counts = np.bincount(draws, minlength=4) / draws.size
+        expected = weights / weights.sum()
+        assert np.allclose(counts, expected, atol=0.01)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=2,
+                    max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_probabilities_well_formed(self, weights):
+        sampler = AliasSampler(weights)
+        assert np.all(sampler.prob >= 0)
+        assert np.all(sampler.prob <= 1.0 + 1e-12)
+        assert np.all(sampler.alias >= 0)
+        assert np.all(sampler.alias < len(weights))
+
+    def test_deterministic_given_seed(self):
+        sampler = AliasSampler([1.0, 2.0, 3.0])
+        a = sampler.sample(np.random.default_rng(7), size=50)
+        b = sampler.sample(np.random.default_rng(7), size=50)
+        assert np.array_equal(a, b)

@@ -1,0 +1,99 @@
+"""Tests for the category tree."""
+
+import numpy as np
+import pytest
+
+from repro.graph.category import CategoryTree
+
+
+@pytest.fixture
+def tree():
+    return CategoryTree.balanced(depth=3, branching=2)
+
+
+class TestConstruction:
+    def test_balanced_counts(self, tree):
+        # 1 + 2 + 4 + 8
+        assert len(tree) == 15
+        assert len(tree.leaves) == 8
+
+    def test_add_child_validates_parent(self):
+        tree = CategoryTree()
+        with pytest.raises(ValueError):
+            tree.add_child(99)
+
+    def test_depths(self, tree):
+        assert tree.depth[0] == 0
+        assert all(tree.depth[leaf] == 3 for leaf in tree.leaves)
+
+    def test_custom_namer(self):
+        tree = CategoryTree.balanced(1, 2, namer=lambda p, r: "%s-%d" % (p, r))
+        assert tree.name[1] == "root-0"
+
+    def test_manual_growth(self):
+        tree = CategoryTree()
+        a = tree.add_child(0, "shoes")
+        b = tree.add_child(a, "canvas shoes")
+        assert tree.parent[b] == a
+        assert tree.depth[b] == 2
+        assert tree.is_leaf(b)
+        assert not tree.is_leaf(a)
+
+
+class TestQueries:
+    def test_path_from_root(self, tree):
+        leaf = tree.leaves[0]
+        path = tree.path(leaf)
+        assert path[0] == 0
+        assert path[-1] == leaf
+        assert len(path) == 4
+
+    def test_ancestor_at_depth(self, tree):
+        leaf = tree.leaves[-1]
+        assert tree.ancestor_at_depth(leaf, 0) == 0
+        assert tree.ancestor_at_depth(leaf, 3) == leaf
+        anc = tree.ancestor_at_depth(leaf, 1)
+        assert tree.depth[anc] == 1
+
+    def test_lca_of_siblings_is_parent(self, tree):
+        parent = tree.children[0][0]
+        kids = tree.children[parent]
+        assert tree.lowest_common_ancestor(kids[0], kids[1]) == parent
+
+    def test_lca_with_ancestor(self, tree):
+        leaf = tree.leaves[0]
+        anc = tree.ancestor_at_depth(leaf, 1)
+        assert tree.lowest_common_ancestor(leaf, anc) == anc
+
+    def test_tree_distance_symmetric(self, tree):
+        a, b = tree.leaves[0], tree.leaves[-1]
+        assert tree.tree_distance(a, b) == tree.tree_distance(b, a)
+
+    def test_tree_distance_values(self, tree):
+        a = tree.leaves[0]
+        assert tree.tree_distance(a, a) == 0
+        # sibling leaves are distance 2
+        parent = tree.parent[a]
+        sibling = [c for c in tree.children[parent] if c != a][0]
+        assert tree.tree_distance(a, sibling) == 2
+        # opposite ends of a depth-3 tree are distance 6
+        assert tree.tree_distance(tree.leaves[0], tree.leaves[-1]) == 6
+
+    def test_siblings(self, tree):
+        a = tree.leaves[0]
+        sibs = tree.siblings(a)
+        assert len(sibs) == 1
+        assert tree.parent[sibs[0]] == tree.parent[a]
+        assert tree.siblings(0) == []
+
+    def test_sample_leaf_is_leaf(self, tree):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert tree.is_leaf(tree.sample_leaf(rng))
+
+    def test_leaf_groups_by_parent(self, tree):
+        groups = tree.leaf_groups_by_parent()
+        assert sum(len(v) for v in groups.values()) == len(tree.leaves)
+        for parent, leaves in groups.items():
+            for leaf in leaves:
+                assert tree.parent[leaf] == parent

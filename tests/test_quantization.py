@@ -1,0 +1,87 @@
+"""Tests for the product-quantization ANN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval.quantization import PQIndex, recall_at_k, _kmeans
+
+
+class TestKMeans:
+    def test_centroids_shape(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(100, 4))
+        centroids = _kmeans(rng, data, k=8)
+        assert centroids.shape == (8, 4)
+
+    def test_k_capped_to_n(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(5, 3))
+        centroids = _kmeans(rng, data, k=20)
+        assert centroids.shape[0] == 5
+
+    def test_recovers_separated_clusters(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(loc=0.0, scale=0.05, size=(50, 2))
+        b = rng.normal(loc=10.0, scale=0.05, size=(50, 2))
+        centroids = _kmeans(rng, np.vstack([a, b]), k=2)
+        norms = np.linalg.norm(centroids, axis=1)
+        assert min(norms) < 1.0 and max(norms) > 13.0
+
+
+class TestPQIndex:
+    @pytest.fixture
+    def db(self):
+        rng = np.random.default_rng(2)
+        return rng.normal(size=(300, 8))
+
+    def test_requires_divisible_dim(self, db):
+        with pytest.raises(ValueError):
+            PQIndex(num_blocks=3).fit(db)
+
+    def test_search_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PQIndex().search(np.zeros((1, 8)), k=3)
+
+    def test_search_shapes_sorted(self, db):
+        index = PQIndex(num_blocks=4, codebook_size=16, seed=0).fit(db)
+        ids, dists = index.search(db[:5], k=7)
+        assert ids.shape == (5, 7)
+        assert np.all(np.diff(dists, axis=1) >= -1e-12)
+
+    def test_self_query_recalls_self(self, db):
+        """A database vector's nearest neighbour should be itself (coded)."""
+        index = PQIndex(num_blocks=4, codebook_size=32, seed=0).fit(db)
+        ids, __ = index.search(db[:20], k=5)
+        hits = sum(1 for i in range(20) if i in ids[i])
+        assert hits >= 15
+
+    def test_high_recall_on_euclidean_truth(self, db):
+        rng = np.random.default_rng(3)
+        queries = rng.normal(size=(20, 8))
+        index = PQIndex(num_blocks=4, codebook_size=32, seed=0).fit(db)
+        approx, __ = index.search(queries, k=10)
+        d2 = ((queries[:, None, :] - db[None, :, :]) ** 2).sum(-1)
+        exact = np.argsort(d2, axis=1)[:, :10]
+        assert recall_at_k(approx, exact, 10) > 0.5
+
+    def test_compression_ratio(self, db):
+        index = PQIndex(num_blocks=4, codebook_size=16).fit(db)
+        assert index.compression_ratio() == (8 * 8) / 4
+
+    def test_k_capped(self, db):
+        index = PQIndex(num_blocks=2, codebook_size=8, seed=0).fit(db)
+        ids, __ = index.search(db[:2], k=10 ** 6)
+        assert ids.shape[1] == db.shape[0]
+
+
+class TestRecall:
+    def test_recall_bounds(self):
+        approx = np.array([[1, 2, 3]])
+        exact = np.array([[1, 2, 3]])
+        assert recall_at_k(approx, exact, 3) == 1.0
+        assert recall_at_k(np.array([[7, 8, 9]]), exact, 3) == 0.0
+
+    def test_partial_recall(self):
+        approx = np.array([[1, 9, 8]])
+        exact = np.array([[1, 2, 3]])
+        assert recall_at_k(approx, exact, 3) == pytest.approx(1 / 3)

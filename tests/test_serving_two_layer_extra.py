@@ -1,0 +1,85 @@
+"""Additional behavioural tests for the serving path.
+
+These exercise scoring semantics the main retrieval tests don't cover:
+score aggregation across multiple paths, Fermi-Dirac conversion in the
+retriever, and configuration edges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.schema import Relation
+from repro.retrieval.index import IndexSet, InvertedIndex
+from repro.retrieval.two_layer import TwoLayerRetriever, _fermi
+
+
+def _index(relation, ids, dists):
+    return InvertedIndex(relation=relation, ids=np.asarray(ids),
+                         distances=np.asarray(dists, dtype=float),
+                         build_seconds=0.0)
+
+
+class _StubIndexSet:
+    """Hand-built index set with known contents."""
+
+    def __init__(self, indices):
+        self.indices = indices
+
+    def __getitem__(self, relation):
+        return self.indices[relation]
+
+    def __contains__(self, relation):
+        return relation in self.indices
+
+
+@pytest.fixture
+def stub_retriever():
+    # Q2A: query 0 -> ads [1, 2]; I2A: item 5 -> ads [2, 3]
+    indices = {
+        Relation.Q2A: _index(Relation.Q2A, [[1, 2]], [[0.1, 0.5]]),
+        Relation.I2A: _index(Relation.I2A,
+                             [[9, 9]] * 5 + [[2, 3]],
+                             [[9.0, 9.0]] * 5 + [[0.2, 0.4]]),
+    }
+    return TwoLayerRetriever(_StubIndexSet(indices), expansion_k=2,
+                             ads_per_key=2)
+
+
+class TestFermi:
+    def test_fermi_monotone(self):
+        d = np.linspace(0, 4, 9)
+        s = _fermi(d)
+        assert np.all(np.diff(s) < 0)
+
+    def test_fermi_range(self):
+        assert 0 < _fermi(np.array([10.0]))[0] < 1
+
+
+class TestScoreAggregation:
+    def test_ad_reachable_via_two_paths_scores_higher(self, stub_retriever):
+        """Ad 2 is reachable from the query AND the pre-click item."""
+        result = stub_retriever.retrieve(0, [5], k=4)
+        ranked = result.ads.tolist()
+        assert ranked[0] == 2, "multi-path ad should rank first, got %r" % ranked
+
+    def test_without_preclicks_only_query_paths(self, stub_retriever):
+        result = stub_retriever.retrieve(0, [], k=4)
+        assert set(result.ads.tolist()) == {1, 2}
+
+    def test_empty_index_set_returns_empty(self):
+        retriever = TwoLayerRetriever(_StubIndexSet({}))
+        result = retriever.retrieve(0, [1], k=5)
+        assert result.ads.size == 0
+        assert result.scores.size == 0
+
+    def test_keep_original_query_flag(self, stub_retriever):
+        stub_retriever.keep_original_query = False
+        query_keys, __ = stub_retriever.expand_keys(0, [])
+        assert 0 not in query_keys
+        stub_retriever.keep_original_query = True
+        query_keys, __ = stub_retriever.expand_keys(0, [])
+        assert 0 in query_keys
+
+    def test_k_truncates_results(self, stub_retriever):
+        result = stub_retriever.retrieve(0, [5], k=1)
+        assert result.ads.size == 1

@@ -1,0 +1,168 @@
+"""Tests for the optimiser, trainer and incremental training."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Parameter, ops
+from repro.models import make_model
+from repro.training import (
+    AdaGrad,
+    IncrementalTrainer,
+    Trainer,
+    TrainerConfig,
+    WarmupSchedule,
+    clip_gradients,
+)
+
+
+class TestClipGradients:
+    def test_no_gradients_returns_zero(self):
+        assert clip_gradients([Parameter(np.ones(3))], 1.0) == 0.0
+
+    def test_returns_preclip_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 2.0)
+        norm = clip_gradients([p], max_norm=1.0)
+        assert np.isclose(norm, 4.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_under_threshold_untouched(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1)
+        clip_gradients([p], max_norm=10.0)
+        assert np.allclose(p.grad, 0.1)
+
+    def test_zero_max_norm_disables(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 5.0)
+        clip_gradients([p], max_norm=0.0)
+        assert np.allclose(p.grad, 5.0)
+
+
+class TestWarmup:
+    def test_linear_rise(self):
+        schedule = WarmupSchedule(1.0, 10)
+        assert schedule.rate(0) == pytest.approx(0.1)
+        assert schedule.rate(4) == pytest.approx(0.5)
+        assert schedule.rate(9) == pytest.approx(1.0)
+        assert schedule.rate(100) == 1.0
+
+    def test_zero_warmup_constant(self):
+        schedule = WarmupSchedule(0.3, 0)
+        assert schedule.rate(0) == 0.3
+
+
+class TestAdaGrad:
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            AdaGrad([])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = AdaGrad([p], learning_rate=0.5, clip_norm=0.0)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = ops.sum(p * p)
+            loss.backward()
+            opt.step()
+        assert np.abs(p.data).max() < 0.3
+
+    def test_accumulator_shrinks_steps(self):
+        p = Parameter(np.array([1.0]))
+        opt = AdaGrad([p], learning_rate=0.1, clip_norm=0.0)
+        deltas = []
+        for _ in range(3):
+            opt.zero_grad()
+            p.grad = np.array([1.0])
+            before = p.data.copy()
+            opt.step()
+            deltas.append(abs(p.data - before)[0])
+        assert deltas[0] > deltas[1] > deltas[2]
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        q = Parameter(np.array([1.0]))
+        opt = AdaGrad([p, q], learning_rate=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        assert q.data[0] == 1.0
+
+    def test_num_parameters(self):
+        opt = AdaGrad([Parameter(np.zeros((2, 3))), Parameter(np.zeros(4))])
+        assert opt.num_parameters == 10
+
+
+class TestTrainer:
+    def test_loss_decreases(self, train_graph):
+        model = make_model("amcad_e", train_graph, num_subspaces=2,
+                           subspace_dim=4, seed=0)
+        trainer = Trainer(model, TrainerConfig(steps=40, batch_size=32,
+                                               learning_rate=0.05, seed=0))
+        report = trainer.train()
+        head = np.mean(report.losses[:8])
+        tail = report.mean_tail_loss
+        assert tail < head, "training loss should fall (%.3f -> %.3f)" % (
+            head, tail)
+
+    def test_report_fields(self, train_graph):
+        model = make_model("amcad_e", train_graph, num_subspaces=1,
+                           subspace_dim=4, seed=0)
+        trainer = Trainer(model, TrainerConfig(steps=5, batch_size=16))
+        report = trainer.train()
+        assert report.steps == 5
+        assert len(report.losses) == 5
+        assert report.wall_seconds > 0
+        assert report.samples_seen == 5 * 16
+
+    def test_relation_homogeneous_batches(self, train_graph):
+        model = make_model("amcad_e", train_graph, num_subspaces=1,
+                           subspace_dim=4, seed=0)
+        trainer = Trainer(model, TrainerConfig(steps=3, batch_size=16, seed=1))
+        batch = trainer._next_batch()
+        relations = {s.relation for s in batch}
+        assert len(relations) == 1
+
+    def test_curvatures_stay_in_bounds(self, train_graph):
+        model = make_model("amcad", train_graph, num_subspaces=2,
+                           subspace_dim=4, seed=0)
+        trainer = Trainer(model, TrainerConfig(steps=15, batch_size=32,
+                                               learning_rate=0.5))
+        trainer.train()
+        for manifold in model.node_manifolds.values():
+            for factor in manifold.factors:
+                lo, hi = factor.kappa_bounds
+                assert lo <= factor.kappa_value <= hi
+
+
+class TestIncrementalTrainer:
+    def test_runs_across_days(self, universe, daily_logs, train_graph):
+        model = make_model("amcad_e", train_graph, num_subspaces=1,
+                           subspace_dim=4, seed=0)
+        inc = IncrementalTrainer(model, universe, steps_per_day=3,
+                                 lru_horizon_days=1)
+        results = inc.train_days(daily_logs[1:3])
+        assert len(results) == 2
+        assert all(r.report.steps == 3 for r in results)
+        assert results[0].day == daily_logs[1].day
+
+    def test_model_rebinds_to_new_graph(self, universe, daily_logs,
+                                        train_graph):
+        model = make_model("amcad_e", train_graph, num_subspaces=1,
+                           subspace_dim=4, seed=0)
+        inc = IncrementalTrainer(model, universe, steps_per_day=2)
+        inc.train_day(daily_logs[1])
+        assert model.graph is not train_graph
+        assert model.encoder.graph is model.graph
+
+    def test_feature_exit_eventually_evicts(self, universe, daily_logs,
+                                            train_graph):
+        model = make_model("amcad_e", train_graph, num_subspaces=1,
+                           subspace_dim=4, seed=0)
+        inc = IncrementalTrainer(model, universe, steps_per_day=1,
+                                 lru_horizon_days=1)
+        # seed activity, then advance with empty days -> stale features
+        inc.train_day(daily_logs[1])
+        from repro.data.logs import BehaviorLog
+        quiet = BehaviorLog(day=9, sessions=daily_logs[2].sessions[:5])
+        results = [inc.train_day(quiet) for _ in range(3)]
+        assert sum(r.evicted_features for r in results) > 0
