@@ -5,10 +5,13 @@ rising smoothly from ~1.2ms to ~2.5ms — a tenfold load increase only
 doubles latency, because the two-layer retrieval is pure index lookup
 behind a wide worker pool.
 
-Here the per-request service time is *measured* on the real two-layer
-retriever, and an Erlang-C (M/M/c) model maps offered load to waiting
-time for a serving fleet sized to saturate just above the sweep range —
-the same shape-generating mechanism as the production system.
+Here the per-request service time is *measured* by driving the
+micro-batching :class:`ServingEngine` over the real two-layer
+retriever (batched index lookups + LRU expansion caching, like the
+production iGraph path), and an Erlang-C (M/M/c) model maps offered
+load to waiting time for a serving fleet sized to saturate just above
+the sweep range — the same shape-generating mechanism as the
+production system.
 """
 
 import numpy as np
@@ -17,7 +20,7 @@ import pytest
 from repro.bench import scaled_steps, write_report
 from repro.models import make_model
 from repro.retrieval import IndexSet, TwoLayerRetriever
-from repro.retrieval.serving import ServingSimulator
+from repro.serving import ServingEngine, ServingSimulator
 from repro.training import Trainer, TrainerConfig
 
 QPS_SWEEP = (1000, 2000, 3000, 4000, 5000, 10000, 20000, 30000, 40000, 50000)
@@ -40,14 +43,20 @@ def test_fig09_qps_latency(benchmark, bench_data):
 
         # size the fleet so the sweep's top load reaches ~80% utilisation,
         # mirroring the paper's production margin
+        engine = ServingEngine(retriever, max_batch_size=16, cache_size=256)
         sim = ServingSimulator(retriever, num_workers=1)
-        service = sim.measure_service_time(queries, preclicks, repeats=2)
+        service = sim.measure_batched_service_time(engine, queries,
+                                                   preclicks, repeats=2)
         workers = int(np.ceil(max(QPS_SWEEP) * service / 0.8))
         sim.num_workers = workers
 
         stats = sim.sweep(QPS_SWEEP)
-        lines = ["service time: %.3f ms/request, fleet: %d workers"
+        lines = ["batched service time: %.3f ms/request, fleet: %d workers"
                  % (1000 * service, workers),
+                 "engine: %d requests in %d micro-batches, "
+                 "expansion-cache hit rate %.0f%%"
+                 % (engine.stats.requests, engine.stats.batches,
+                    100 * engine.stats.cache_hit_rate),
                  "%-10s %16s %12s" % ("QPS", "response (ms)", "utilisation")]
         for s in stats:
             lines.append("%-10d %16.3f %12.2f" % (s.qps, s.response_time_ms,

@@ -4,13 +4,19 @@ The paper argues product quantisation cannot serve its attention-
 weighted mixed-curvature similarity and therefore builds MNN (exact
 brute force with two-level parallelism).  This bench quantifies that:
 
-- ground truth = exact MNN top-k under the learned metric;
-- PQ baseline  = classic PQ/ADC over the *concatenated Euclidean*
-  embedding (the best a traditional pipeline can do: it can neither
-  apply per-subspace geodesics nor per-pair attention weights);
+- ground truth = the ``ExactBackend`` (MNN) top-k under the learned
+  metric;
+- PQ baseline  = the ``PQBackend`` — classic PQ/ADC over the
+  *concatenated Euclidean* embedding (the best a traditional pipeline
+  can do: it can neither apply per-subspace geodesics nor per-pair
+  attention weights);
 - report recall@k of PQ against the true metric, plus PQ's recall on
   plain Euclidean search as a control (showing PQ itself is fine when
   the metric matches its assumptions).
+
+Both searches run through the same pluggable
+:class:`~repro.retrieval.backend.SearchBackend` interface that
+``IndexSet`` builds indices with.
 """
 
 import numpy as np
@@ -19,9 +25,9 @@ import pytest
 from repro.bench import scaled_steps, write_report
 from repro.graph.schema import Relation
 from repro.models import make_model
-from repro.retrieval import MNNSearcher
+from repro.retrieval import make_backend
 from repro.retrieval.mnn import RelationSpace
-from repro.retrieval.quantization import PQIndex, recall_at_k
+from repro.retrieval.quantization import recall_at_k
 from repro.training import Trainer, TrainerConfig
 
 
@@ -38,15 +44,17 @@ def test_pq_cannot_serve_mixed_metric(benchmark, bench_data):
         k = 10
 
         # ground truth under the learned mixed-curvature metric
-        exact_ids, __ = MNNSearcher(space).search(queries, k=k)
+        exact = make_backend("exact").build(space)
+        exact_ids, __ = exact.search(queries, k=k)
 
         # PQ over concatenated embeddings (all a traditional ANN sees)
+        pq = make_backend("pq", num_blocks=4, codebook_size=32,
+                          seed=0).build(space)
+        pq_ids, __ = pq.search(queries, k=k)
+        pq_recall = recall_at_k(pq_ids, exact_ids, k)
         db = np.concatenate(space.dst_embeddings, axis=1)
         qv = np.concatenate([e[queries] for e in space.src_embeddings],
                             axis=1)
-        pq = PQIndex(num_blocks=4, codebook_size=32, seed=0).fit(db)
-        pq_ids, __ = pq.search(qv, k=k)
-        pq_recall = recall_at_k(pq_ids, exact_ids, k)
 
         # decomposition: how much is lost to the metric mismatch alone
         # (exact Euclidean search vs the true metric), and how much PQ
@@ -62,7 +70,7 @@ def test_pq_cannot_serve_mixed_metric(benchmark, bench_data):
             "recall@%d, PQ vs true mixed metric: %.3f" % (k, pq_recall),
             "recall@%d, PQ vs exact Euclidean (control): %.3f"
             % (k, control_recall),
-            "PQ compression: %.0fx" % pq.compression_ratio(),
+            "PQ compression: %.0fx" % pq.index.compression_ratio(),
             "",
             "paper (§IV-C-1): the attention-weighted metric is 'hard to "
             "directly use' with product quantisation, motivating MNN; "

@@ -4,9 +4,11 @@ Mirrors the deployment story of paper §IV-C / §VI-F:
 
 1. train two retrieval channels on a multi-day window — the Euclidean
    control (AMCAD_E) and the adaptive mixed-curvature treatment (AMCAD);
-2. build the six inverted indices for each via MNN search;
-3. stand up two-layer retrievers and measure serving latency across a
-   QPS sweep (Fig. 9's curve);
+2. build the six inverted indices for each through the exact search
+   backend, persist them, and reload for model-free serving;
+3. stand up two-layer retrievers behind the micro-batching
+   ``ServingEngine`` and measure batched serving latency across a QPS
+   sweep (Fig. 9's curve);
 4. run a simulated A/B test and report CTR / RPM lift per page
    (Table X's layout).
 
@@ -15,6 +17,8 @@ Usage::
     python examples/serving_pipeline.py
 """
 
+import tempfile
+
 import numpy as np
 
 from repro.data import SimulatorConfig, SponsoredSearchSimulator
@@ -22,7 +26,7 @@ from repro.evaluation import ABTestConfig, run_ab_test
 from repro.graph import build_graph
 from repro.models import make_model
 from repro.retrieval import IndexSet, TwoLayerRetriever
-from repro.retrieval.serving import ServingSimulator
+from repro.serving import ServingEngine, ServingSimulator
 from repro.training import Trainer, TrainerConfig
 
 
@@ -35,7 +39,13 @@ def build_channel(name, graph, seed=0):
     print("  building the six inverted indices...")
     index_set = IndexSet(model, top_k=50).build()
     print("    built in %.2fs" % index_set.total_build_seconds)
-    return TwoLayerRetriever(index_set)
+    # ship-to-serving step: persist, then reload without the model —
+    # exactly what a serving process does (paper Fig. 3)
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        path = index_set.save(tmp_dir + "/indices.npz")
+        served = IndexSet.load(path)
+    print("    persisted + reloaded for model-free serving")
+    return TwoLayerRetriever(served)
 
 
 def main():
@@ -52,11 +62,15 @@ def main():
     rng = np.random.default_rng(0)
     queries = rng.integers(500, size=40)
     preclicks = [list(rng.integers(200, size=2)) for _ in queries]
+    engine = ServingEngine(treatment, max_batch_size=16, cache_size=256)
     sim = ServingSimulator(treatment, num_workers=1)
-    service = sim.measure_service_time(queries, preclicks)
+    service = sim.measure_batched_service_time(engine, queries, preclicks,
+                                               repeats=2)
     sim.num_workers = int(np.ceil(50000 * service / 0.8))
-    print("  measured service time %.3f ms; fleet of %d workers"
-          % (1000 * service, sim.num_workers))
+    print("  batched service time %.3f ms (%d micro-batches, cache hit "
+          "rate %.0f%%); fleet of %d workers"
+          % (1000 * service, engine.stats.batches,
+             100 * engine.stats.cache_hit_rate, sim.num_workers))
     for stat in sim.sweep([1000, 5000, 10000, 30000, 50000]):
         print("  qps %6d -> %.3f ms (utilisation %.2f)"
               % (stat.qps, stat.response_time_ms, stat.utilisation))

@@ -28,6 +28,7 @@ __all__ = [
     "models",
     "training",
     "retrieval",
+    "serving",
     "evaluation",
     "io",
     "bench",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import json
 import os
 import pathlib
 import time
@@ -197,4 +198,12 @@ def write_report(filename: str, title: str, lines: Sequence[str]) -> pathlib.Pat
     body = "\n".join(["# %s" % title, ""] + list(lines)) + "\n"
     path.write_text(body)
     print("\n" + body)
+    return path
+
+
+def write_json_report(filename: str, payload: Dict) -> pathlib.Path:
+    """Persist a machine-readable bench result next to the text reports."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

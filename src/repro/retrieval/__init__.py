@@ -1,4 +1,4 @@
-"""Retrieval system: MNN search, inverted indices, two-layer serving.
+"""Retrieval system: pluggable backends, inverted indices, two-layer serving.
 
 Reproduces the deployment half of AMCAD (paper §IV-C, Fig. 6):
 
@@ -7,27 +7,53 @@ Reproduces the deployment half of AMCAD (paper §IV-C, Fig. 6):
   attention-weighted metric, so MNN is exact brute force distributed
   over workers with data-level (OpenMP) and instruction-level (SIMD)
   parallelism; here that is chunked numpy (vector units) plus an
-  optional thread pool (data parallel);
+  optional thread pool (data parallel), with block results streamed
+  into a bounded top-k merge;
+- :mod:`repro.retrieval.backend` — the :class:`SearchBackend` seam all
+  search strategies plug into (:class:`ExactBackend` wrapping MNN,
+  :class:`PQBackend` wrapping product quantisation);
 - :mod:`repro.retrieval.index` — the six inverted indices
-  (Q2Q/Q2I/I2Q/I2I/Q2A/I2A) built offline from trained embeddings;
+  (Q2Q/Q2I/I2Q/I2I/Q2A/I2A) built offline through a backend factory,
+  with ``save``/``load`` persistence for model-free serving;
 - :mod:`repro.retrieval.two_layer` — the two-layer online retrieval
   framework: layer 1 expands the query and pre-click items into related
-  keys, layer 2 retrieves ads through the key→ad indices;
-- :mod:`repro.retrieval.serving` — an M/M/c queueing simulator mapping
-  measured per-request service times to the response-time-vs-QPS curve
-  of paper Fig. 9.
+  keys, layer 2 retrieves ads through the key→ad indices; the hot path
+  is the vectorised ``retrieve_batch``.
+
+The online serving pieces (micro-batching engine, Erlang-C simulator)
+live in :mod:`repro.serving`; ``repro.retrieval.serving`` remains as a
+compatibility shim.
 """
 
+from repro.retrieval.backend import (
+    BACKENDS,
+    ExactBackend,
+    PQBackend,
+    SearchBackend,
+    make_backend,
+    resolve_backend_factory,
+)
 from repro.retrieval.mnn import MNNSearcher, RelationSpace
 from repro.retrieval.index import IndexSet, InvertedIndex
-from repro.retrieval.two_layer import RetrievalResult, TwoLayerRetriever
+from repro.retrieval.two_layer import (
+    KeyExpansion,
+    RetrievalResult,
+    TwoLayerRetriever,
+)
 from repro.retrieval.serving import ServingSimulator, ServingStats
 
 __all__ = [
+    "BACKENDS",
+    "SearchBackend",
+    "ExactBackend",
+    "PQBackend",
+    "make_backend",
+    "resolve_backend_factory",
     "RelationSpace",
     "MNNSearcher",
     "InvertedIndex",
     "IndexSet",
+    "KeyExpansion",
     "TwoLayerRetriever",
     "RetrievalResult",
     "ServingSimulator",

@@ -1,0 +1,188 @@
+"""Pluggable retrieval backends behind one search interface.
+
+The deployed system (paper §IV-C-1) builds its inverted indices through
+one search engine; the reproduction historically hard-wired the exact
+:class:`~repro.retrieval.mnn.MNNSearcher` into every call site, so
+alternative strategies (PQ, and later ANN pruning or sharding) forked
+code paths.  This module defines the seam all of them plug into:
+
+- :class:`SearchBackend` — ``build(space)`` freezes a backend over one
+  :class:`~repro.retrieval.mnn.RelationSpace`, ``search(src, k)``
+  answers batched top-k queries;
+- :class:`ExactBackend` — the MNN brute-force search (recall 1.0 by
+  construction), streaming per-block top-k merges so memory stays
+  bounded at large target counts;
+- :class:`PQBackend` — product quantisation over the concatenated
+  Euclidean embedding, the traditional-ANN baseline the paper argues
+  cannot express the attention-weighted mixed metric.
+
+:class:`~repro.retrieval.index.IndexSet` takes a backend factory, so
+every one of the six relation indices is built through whichever
+backend the caller selects.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Optional, Tuple, Type, Union
+
+import numpy as np
+
+from repro.retrieval.mnn import MNNSearcher, RelationSpace
+from repro.retrieval.quantization import PQIndex
+
+
+class SearchBackend(abc.ABC):
+    """Top-k search over one frozen relation geometry.
+
+    Lifecycle: construct with hyper-parameters, :meth:`build` once with
+    a :class:`RelationSpace`, then :meth:`search` any number of times.
+    """
+
+    space: Optional[RelationSpace] = None
+
+    @abc.abstractmethod
+    def build(self, space: RelationSpace) -> "SearchBackend":
+        """Freeze the backend over ``space`` and return ``self``."""
+
+    @abc.abstractmethod
+    def search(self, src_indices: np.ndarray, k: int,
+               exclude_self: bool = False
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(ids, distances)`` of shape ``(B, k)``, ascending distance."""
+
+    @property
+    def is_built(self) -> bool:
+        return self.space is not None
+
+    def _require_built(self) -> None:
+        if not self.is_built:
+            raise RuntimeError("%s: call build(space) before search()"
+                               % type(self).__name__)
+
+
+class ExactBackend(SearchBackend):
+    """Exact mixed-curvature search (MNN) behind the backend interface.
+
+    Wraps :class:`MNNSearcher`, whose streamed per-block top-k merge
+    keeps peak memory independent of the target-set size.
+    """
+
+    def __init__(self, num_workers: int = 1, block_size: int = 2048):
+        self.num_workers = max(int(num_workers), 1)
+        self.block_size = int(block_size)
+        self.space: Optional[RelationSpace] = None
+        self._searcher: Optional[MNNSearcher] = None
+
+    def build(self, space: RelationSpace) -> "ExactBackend":
+        self.space = space
+        self._searcher = MNNSearcher(space, num_workers=self.num_workers,
+                                     block_size=self.block_size)
+        return self
+
+    def search(self, src_indices: np.ndarray, k: int,
+               exclude_self: bool = False
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        self._require_built()
+        return self._searcher.search(np.asarray(src_indices, dtype=np.int64),
+                                     k, exclude_self=exclude_self)
+
+    @property
+    def peak_candidate_width(self) -> int:
+        """Memory high-water mark of the last search (candidate columns)."""
+        return 0 if self._searcher is None else \
+            self._searcher.peak_candidate_width
+
+
+class PQBackend(SearchBackend):
+    """Product-quantisation backend over concatenated embeddings.
+
+    This is the best a traditional ANN pipeline can do against the
+    mixed-curvature metric: it sees only the flat concatenation of the
+    per-subspace coordinates and ranks by quantised Euclidean distance,
+    ignoring both the geodesic geometry and the per-pair attention
+    weights.  Returned "distances" are therefore PQ/ADC squared
+    Euclidean scores, comparable within one backend only.
+    """
+
+    def __init__(self, num_blocks: int = 4, codebook_size: int = 32,
+                 seed: int = 0):
+        self.num_blocks = int(num_blocks)
+        self.codebook_size = int(codebook_size)
+        self.seed = int(seed)
+        self.space: Optional[RelationSpace] = None
+        self.index: Optional[PQIndex] = None
+        self._src_vectors: Optional[np.ndarray] = None
+
+    def build(self, space: RelationSpace) -> "PQBackend":
+        self.space = space
+        database = np.concatenate(space.dst_embeddings, axis=1)
+        self._src_vectors = np.concatenate(space.src_embeddings, axis=1)
+        dim = database.shape[1]
+        blocks = self.num_blocks
+        while dim % blocks:  # PQ needs an even split; shrink to a divisor
+            blocks -= 1
+        self.index = PQIndex(num_blocks=blocks,
+                             codebook_size=self.codebook_size,
+                             seed=self.seed).fit(database)
+        return self
+
+    def search(self, src_indices: np.ndarray, k: int,
+               exclude_self: bool = False
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        self._require_built()
+        src_indices = np.asarray(src_indices, dtype=np.int64)
+        space = self.space
+        same = exclude_self and (space.relation.source_type
+                                 == space.relation.target_type)
+        k = min(k, space.num_targets - (1 if exclude_self else 0))
+        fetch = min(k + 1, space.num_targets) if same else k
+        ids, dists = self.index.search(self._src_vectors[src_indices], fetch)
+        if same:
+            # drop the source row itself, keeping the remaining order
+            not_self = ids != src_indices[:, None]
+            keep = np.argsort(~not_self, axis=1, kind="stable")[:, :k]
+            ids = np.take_along_axis(ids, keep, axis=1)
+            dists = np.take_along_axis(dists, keep, axis=1)
+        return ids[:, :k], dists[:, :k]
+
+
+#: Registry of selectable backends, keyed by the name ``IndexSet`` and
+#: the benchmarks accept ("exact", "pq", ...).
+BACKENDS: Dict[str, Type[SearchBackend]] = {
+    "exact": ExactBackend,
+    "pq": PQBackend,
+}
+
+BackendSpec = Union[str, Type[SearchBackend], Callable[[], SearchBackend]]
+
+
+def make_backend(name: str, **kwargs) -> SearchBackend:
+    """Instantiate a registered backend by name."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError("unknown backend %r (have: %s)"
+                         % (name, ", ".join(sorted(BACKENDS)))) from None
+    return cls(**kwargs)
+
+
+def resolve_backend_factory(spec: BackendSpec = "exact",
+                            **kwargs) -> Callable[[], SearchBackend]:
+    """Normalise a backend spec into a zero-argument factory.
+
+    Accepts a registry name (``"exact"``), a backend class, or an
+    existing zero-argument factory; ``kwargs`` are forwarded to the
+    constructor in the first two cases.
+    """
+    if isinstance(spec, str):
+        return lambda: make_backend(spec, **kwargs)
+    if isinstance(spec, type) and issubclass(spec, SearchBackend):
+        return lambda: spec(**kwargs)
+    if callable(spec):
+        if kwargs:
+            raise ValueError("kwargs cannot be combined with a ready-made "
+                             "backend factory")
+        return spec
+    raise TypeError("backend spec must be a name, class or factory, got %r"
+                    % (spec,))

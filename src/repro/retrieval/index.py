@@ -10,13 +10,20 @@ from one trained model.
 from __future__ import annotations
 
 import dataclasses
+import pathlib
 import time
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graph.schema import Relation
-from repro.retrieval.mnn import MNNSearcher, RelationSpace
+from repro.retrieval.backend import (
+    BackendSpec,
+    ExactBackend,
+    SearchBackend,
+    resolve_backend_factory,
+)
+from repro.retrieval.mnn import RelationSpace
 
 #: Layer-one (key expansion) and layer-two (ad retrieval) relations.
 LAYER_ONE = (Relation.Q2Q, Relation.Q2I, Relation.I2Q, Relation.I2I)
@@ -52,25 +59,46 @@ class InvertedIndex:
 class IndexSet:
     """Builds and holds the six inverted indices for one model.
 
+    Every index is constructed through a pluggable
+    :class:`~repro.retrieval.backend.SearchBackend`, so the exact MNN
+    search and approximate strategies (PQ, future ANN variants) share
+    one build path.  A built set can be persisted with :meth:`save` and
+    reloaded with :meth:`load` into a model-free serving artefact.
+
     Parameters
     ----------
     model:
         A trained :class:`~repro.models.amcad.AMCAD` (or any object
-        exposing ``encode``/``scorer``/``graph``).
+        exposing ``encode``/``scorer``/``graph``).  ``None`` only for
+        sets restored via :meth:`load`, which serve lookups but cannot
+        :meth:`build`.
     top_k:
         Results stored per key.
     num_workers:
-        MNN thread-pool width per index build.
+        Backend thread-pool width per index build (exact backend).
+    backend:
+        Backend spec — a registry name (``"exact"``, ``"pq"``), a
+        :class:`SearchBackend` subclass, or a zero-argument factory.
+    backend_kwargs:
+        Constructor arguments forwarded when ``backend`` is a name or a
+        class.
     """
 
     def __init__(self, model, top_k: int = 50, num_workers: int = 1,
-                 batch_size: int = 256):
+                 batch_size: int = 256, backend: BackendSpec = "exact",
+                 backend_kwargs: Optional[dict] = None):
         self.model = model
         self.top_k = int(top_k)
         self.num_workers = int(num_workers)
         self.batch_size = int(batch_size)
+        kwargs = dict(backend_kwargs or {})
+        if backend == "exact" or (isinstance(backend, type)
+                                  and issubclass(backend, ExactBackend)):
+            kwargs.setdefault("num_workers", self.num_workers)
+        self.backend_factory = resolve_backend_factory(backend, **kwargs)
         self.indices: Dict[Relation, InvertedIndex] = {}
         self.spaces: Dict[Relation, RelationSpace] = {}
+        self.backends: Dict[Relation, SearchBackend] = {}
 
     def build(self, relations: Optional[Sequence[Relation]] = None
               ) -> "IndexSet":
@@ -81,10 +109,13 @@ class IndexSet:
         return self
 
     def build_one(self, relation: Relation) -> InvertedIndex:
-        """Build a single inverted index via MNN search."""
+        """Build a single inverted index through the configured backend."""
+        if self.model is None:
+            raise RuntimeError("this IndexSet was loaded from disk and has "
+                               "no model to build from")
         start = time.perf_counter()
         space = RelationSpace.from_model(self.model, relation)
-        searcher = MNNSearcher(space, num_workers=self.num_workers)
+        backend = self.backend_factory().build(space)
         same_type = relation.source_type == relation.target_type
         n_src = space.num_sources
         k = min(self.top_k, space.num_targets - (1 if same_type else 0))
@@ -93,7 +124,7 @@ class IndexSet:
         for chunk_start in range(0, n_src, self.batch_size):
             chunk = np.arange(chunk_start,
                               min(chunk_start + self.batch_size, n_src))
-            ids, dists = searcher.search(chunk, k, exclude_self=same_type)
+            ids, dists = backend.search(chunk, k, exclude_self=same_type)
             all_ids[chunk] = ids
             all_dists[chunk] = dists
         elapsed = time.perf_counter() - start
@@ -101,7 +132,32 @@ class IndexSet:
                               distances=all_dists, build_seconds=elapsed)
         self.indices[relation] = index
         self.spaces[relation] = space
+        self.backends[relation] = backend
         return index
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> pathlib.Path:
+        """Write the built indices to one ``.npz`` (via :mod:`repro.io`)."""
+        from repro.io import save_index_set  # local: io imports this module
+        return save_index_set(self, path)
+
+    @classmethod
+    def load(cls, path) -> "IndexSet":
+        """Reload indices written by :meth:`save`.
+
+        The result serves lookups (and therefore the two-layer
+        retriever) without any model object in scope; only
+        :meth:`build` is unavailable.
+        """
+        from repro.io import load_index_set  # local: io imports this module
+        stored = load_index_set(path)
+        index_set = cls(model=None)
+        index_set.indices = dict(stored.indices)
+        if index_set.indices:
+            index_set.top_k = max(ix.ids.shape[1]
+                                  for ix in index_set.indices.values())
+        return index_set
 
     def __getitem__(self, relation: Relation) -> InvertedIndex:
         return self.indices[relation]

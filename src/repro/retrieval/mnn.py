@@ -127,6 +127,11 @@ def _project_all(model, relation: Relation, node_type: NodeType,
 class MNNSearcher:
     """Exact top-K search under the attention-weighted mixed metric.
 
+    Candidate blocks are scored one wave at a time and merged into a
+    running per-source top-k, so peak memory is bounded by
+    ``num_workers`` in-flight blocks plus the ``(B, k)`` result buffer —
+    it does not scale with the full ``(B, N)`` score matrix.
+
     Parameters
     ----------
     space:
@@ -143,6 +148,9 @@ class MNNSearcher:
         self.space = space
         self.num_workers = max(int(num_workers), 1)
         self.block_size = int(block_size)
+        #: Widest candidate buffer merged during the last search — the
+        #: memory high-water mark, asserted far below N in the tests.
+        self.peak_candidate_width = 0
 
     def _score_block(self, src_indices: np.ndarray,
                      block: slice) -> np.ndarray:
@@ -159,6 +167,25 @@ class MNNSearcher:
             total += weights * dists
         return total
 
+    def _block_topk(self, src_indices: np.ndarray, block: slice, k: int,
+                    mask_self: bool) -> Tuple[np.ndarray, np.ndarray]:
+        """Score one block and reduce it to per-source top-``k``."""
+        scores = self._score_block(src_indices, block)
+        if mask_self:
+            in_block = ((src_indices >= block.start)
+                        & (src_indices < block.stop))
+            rows = np.nonzero(in_block)[0]
+            scores[rows, src_indices[rows] - block.start] = np.inf
+        width = scores.shape[1]
+        kk = min(k, width)
+        if kk < width:
+            top = np.argpartition(scores, kth=kk - 1, axis=1)[:, :kk]
+        else:
+            top = np.broadcast_to(np.arange(width),
+                                  (src_indices.size, width)).copy()
+        dists = np.take_along_axis(scores, top, axis=1)
+        return top.astype(np.int64) + block.start, dists
+
     def search(self, src_indices: np.ndarray, k: int,
                exclude_self: bool = False) -> Tuple[np.ndarray, np.ndarray]:
         """Top-``k`` nearest targets per source.
@@ -166,29 +193,48 @@ class MNNSearcher:
         Returns ``(ids, distances)`` of shape ``(B, k)``, sorted by
         ascending distance.  ``exclude_self`` drops the diagonal for
         same-type relations (a node is trivially nearest to itself).
+
+        Blocks are streamed: each wave of ``num_workers`` blocks is
+        reduced to block-local top-k and folded into a running best-k
+        buffer, so the full ``(B, N)`` matrix is never materialised.
         """
         src_indices = np.asarray(src_indices, dtype=np.int64)
         n_targets = self.space.num_targets
         k = min(k, n_targets - (1 if exclude_self else 0))
+        mask_self = exclude_self and (self.space.relation.source_type
+                                      == self.space.relation.target_type)
         blocks = [slice(start, min(start + self.block_size, n_targets))
                   for start in range(0, n_targets, self.block_size)]
 
+        best_ids = np.empty((src_indices.size, 0), dtype=np.int64)
+        best_dists = np.empty((src_indices.size, 0))
+        self.peak_candidate_width = 0
+
+        def absorb(pieces) -> None:
+            nonlocal best_ids, best_dists
+            best_ids = np.concatenate([best_ids] + [p[0] for p in pieces],
+                                      axis=1)
+            best_dists = np.concatenate([best_dists] + [p[1] for p in pieces],
+                                        axis=1)
+            self.peak_candidate_width = max(self.peak_candidate_width,
+                                            best_dists.shape[1])
+            if best_dists.shape[1] > k:
+                keep = np.argpartition(best_dists, kth=k - 1, axis=1)[:, :k]
+                best_ids = np.take_along_axis(best_ids, keep, axis=1)
+                best_dists = np.take_along_axis(best_dists, keep, axis=1)
+
+        wave = self.num_workers
         if self.num_workers > 1 and len(blocks) > 1:
             with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
-                pieces = list(pool.map(
-                    lambda b: self._score_block(src_indices, b), blocks))
+                for start in range(0, len(blocks), wave):
+                    group = blocks[start:start + wave]
+                    absorb(list(pool.map(
+                        lambda b: self._block_topk(src_indices, b, k,
+                                                   mask_self), group)))
         else:
-            pieces = [self._score_block(src_indices, b) for b in blocks]
-        scores = np.concatenate(pieces, axis=1)              # (B, N)
+            for block in blocks:
+                absorb([self._block_topk(src_indices, block, k, mask_self)])
 
-        if exclude_self:
-            same = (self.space.relation.source_type
-                    == self.space.relation.target_type)
-            if same:
-                scores[np.arange(src_indices.size), src_indices] = np.inf
-
-        top = np.argpartition(scores, kth=k - 1, axis=1)[:, :k]
-        row = np.arange(src_indices.size)[:, None]
-        order = np.argsort(scores[row, top], axis=1)
-        ids = top[row, order]
-        return ids, scores[row, ids]
+        order = np.argsort(best_dists, axis=1, kind="stable")
+        return (np.take_along_axis(best_ids, order, axis=1),
+                np.take_along_axis(best_dists, order, axis=1))

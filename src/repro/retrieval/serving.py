@@ -1,109 +1,16 @@
-"""Online serving simulator — response time vs QPS (paper Fig. 9).
+"""Compatibility shim — the simulator moved to :mod:`repro.serving`.
 
-The deployed system serves tens of thousands of requests per second
-from the iGraph engine.  The *shape* of its latency curve (slow, smooth
-growth until the worker pool saturates) is a queueing property, not a
-hardware one, so it is reproduced with an M/M/c model:
-
-- the per-request service time is *measured* by timing real two-layer
-  retrievals on this machine;
-- a c-worker Erlang-C queue maps an offered load λ (QPS) to the mean
-  waiting time, giving ``response = wait(λ) + service``.
-
-This keeps the benchmark honest: the service time comes from the real
-code path, only the concurrency is modelled.
+The Erlang-C :class:`ServingSimulator` now lives in
+:mod:`repro.serving.simulator` next to the micro-batching
+:class:`~repro.serving.engine.ServingEngine`; import from there in new
+code.  This module keeps the historical import path working.
 """
 
-from __future__ import annotations
+from repro.serving.simulator import (  # noqa: F401
+    ServingSimulator,
+    ServingStats,
+    erlang_b,
+    erlang_c_wait,
+)
 
-import dataclasses
-import math
-import time
-from typing import List, Optional, Sequence
-
-import numpy as np
-
-from repro.retrieval.two_layer import TwoLayerRetriever
-
-
-def erlang_c_wait(arrival_rate: float, service_rate: float,
-                  servers: int) -> float:
-    """Mean queueing delay of an M/M/c system (seconds).
-
-    Returns ``inf`` when the system is unstable (λ ≥ c·μ).
-    """
-    if arrival_rate <= 0:
-        return 0.0
-    utilisation = arrival_rate / (servers * service_rate)
-    if utilisation >= 1.0:
-        return float("inf")
-    offered = arrival_rate / service_rate
-    # Erlang-C probability of queueing
-    summation = sum(offered ** n / math.factorial(n) for n in range(servers))
-    tail = offered ** servers / (math.factorial(servers) * (1.0 - utilisation))
-    p_wait = tail / (summation + tail)
-    return p_wait / (servers * service_rate - arrival_rate)
-
-
-@dataclasses.dataclass
-class ServingStats:
-    """One point of the Fig. 9 curve."""
-
-    qps: float
-    response_time_ms: float
-    utilisation: float
-
-
-class ServingSimulator:
-    """Measures service time, then sweeps QPS through the queue model.
-
-    Parameters
-    ----------
-    retriever:
-        The two-layer retriever to time.
-    num_workers:
-        Size of the simulated serving fleet.  The paper's fleet handles
-        ~50k QPS at <5 ms; scale workers to the measured service time.
-    """
-
-    def __init__(self, retriever: TwoLayerRetriever, num_workers: int = 64):
-        self.retriever = retriever
-        self.num_workers = int(num_workers)
-        self._service_seconds: Optional[float] = None
-
-    def measure_service_time(self, queries: Sequence[int],
-                             preclicks: Sequence[Sequence[int]],
-                             k: int = 20, repeats: int = 1) -> float:
-        """Mean wall-clock seconds of one two-layer retrieval."""
-        start = time.perf_counter()
-        count = 0
-        for _ in range(repeats):
-            for query, items in zip(queries, preclicks):
-                self.retriever.retrieve(int(query), items, k=k)
-                count += 1
-        elapsed = time.perf_counter() - start
-        self._service_seconds = elapsed / max(count, 1)
-        return self._service_seconds
-
-    @property
-    def service_seconds(self) -> float:
-        if self._service_seconds is None:
-            raise RuntimeError("call measure_service_time() first")
-        return self._service_seconds
-
-    def sweep(self, qps_values: Sequence[float]) -> List[ServingStats]:
-        """Mean response time for each offered load (paper Fig. 9)."""
-        service_rate = 1.0 / self.service_seconds
-        stats: List[ServingStats] = []
-        for qps in qps_values:
-            wait = erlang_c_wait(qps, service_rate, self.num_workers)
-            response = wait + self.service_seconds
-            stats.append(ServingStats(
-                qps=float(qps),
-                response_time_ms=1000.0 * response,
-                utilisation=qps / (self.num_workers * service_rate)))
-        return stats
-
-    def saturation_qps(self) -> float:
-        """Offered load at which the fleet saturates (λ = c·μ)."""
-        return self.num_workers / self.service_seconds
+__all__ = ["ServingSimulator", "ServingStats", "erlang_b", "erlang_c_wait"]

@@ -14,6 +14,14 @@ function used in training, multiplied along the two hops, and summed
 over paths — so an ad reachable through several strong keys ranks
 higher.  Compared with single-hop embedding retrieval this covers far
 more traffic (the paper's motivation for the design).
+
+The hot path is fully vectorised: :meth:`TwoLayerRetriever.retrieve_batch`
+serves a whole micro-batch of requests through flattened
+``(request, key, score)`` / ``(request, ad, score)`` triples aggregated
+with ``np.unique`` + ``np.bincount``, and :meth:`~TwoLayerRetriever.retrieve`
+is a thin single-request wrapper over it.  The original per-key dict
+accumulation survives as :meth:`~TwoLayerRetriever.retrieve_looped`, the
+reference implementation the batch path is tested against.
 """
 
 from __future__ import annotations
@@ -23,13 +31,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.graph.schema import NodeType, Relation
+from repro.graph.schema import Relation
 from repro.retrieval.index import IndexSet
 
 
 def _fermi(dist: np.ndarray, radius: float = 1.0,
            temperature: float = 5.0) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-temperature * (radius - dist)))
+    """Fermi–Dirac link function ``1 / (1 + exp(-t (r - d)))``.
+
+    Evaluated as ``exp(-logaddexp(0, t (d - r)))`` so large distances
+    underflow smoothly to 0.0 instead of overflowing ``exp``.
+    """
+    exponent = temperature * (np.asarray(dist, dtype=np.float64) - radius)
+    return np.exp(-np.logaddexp(0.0, exponent))
 
 
 @dataclasses.dataclass
@@ -42,6 +56,55 @@ class RetrievalResult:
 
     def top(self, k: int) -> np.ndarray:
         return self.ads[:k]
+
+
+@dataclasses.dataclass
+class KeyExpansion:
+    """Layer-1 output for one request: unique keys, max-merged scores.
+
+    The arrays are what the serving engine caches per request
+    signature; :meth:`TwoLayerRetriever.gather_batch` consumes them.
+    """
+
+    query_keys: np.ndarray    # int64 unique query-key ids
+    query_scores: np.ndarray
+    item_keys: np.ndarray     # int64 unique item-key ids
+    item_scores: np.ndarray
+
+    @property
+    def num_keys(self) -> int:
+        return int(self.query_keys.size + self.item_keys.size)
+
+
+def _group_reduce(requests: np.ndarray, keys: np.ndarray, scores: np.ndarray,
+                  num_requests: int, reduce: str
+                  ) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Aggregate flattened (request, key, score) triples per request.
+
+    Deduplicates by (request, key) through a composite ``np.unique``;
+    ``reduce="max"`` keeps the strongest path (layer-1 key merge) and
+    ``reduce="sum"`` accumulates over paths (layer-2 ad scoring, via
+    ``np.bincount``).  Returns one ``(keys, scores)`` pair per request,
+    keys ascending.
+    """
+    empty = (np.empty(0, dtype=np.int64), np.empty(0))
+    if requests.size == 0:
+        return [empty] * num_requests
+    stride = int(keys.max()) + 1
+    composite = requests.astype(np.int64) * stride + keys
+    unique, inverse = np.unique(composite, return_inverse=True)
+    if reduce == "max":
+        merged = np.full(unique.size, -np.inf)
+        np.maximum.at(merged, inverse, scores)
+    elif reduce == "sum":
+        merged = np.bincount(inverse, weights=scores, minlength=unique.size)
+    else:
+        raise ValueError("unknown reduce %r" % reduce)
+    unique_req = unique // stride
+    unique_key = unique - unique_req * stride
+    bounds = np.searchsorted(unique_req, np.arange(num_requests + 1))
+    return [(unique_key[a:b], merged[a:b])
+            for a, b in zip(bounds[:-1], bounds[1:])]
 
 
 class TwoLayerRetriever:
@@ -62,7 +125,7 @@ class TwoLayerRetriever:
 
     def expand_keys(self, query: int, preclick_items: Sequence[int]
                     ) -> Tuple[Dict[int, float], Dict[int, float]]:
-        """Expanded (query-key, item-key) score maps."""
+        """Expanded (query-key, item-key) score maps (looped reference)."""
         query_keys: Dict[int, float] = {}
         item_keys: Dict[int, float] = {}
         if self.keep_original_query:
@@ -85,7 +148,7 @@ class TwoLayerRetriever:
             absorb(item_keys, ids, dists, 1.0)
         for item in preclick_items:
             item = int(item)
-            item_keys.setdefault(item, 1.0)
+            item_keys[item] = max(item_keys.get(item, 0.0), 1.0)
             if Relation.I2Q in self.indices:
                 ids, dists = self.indices[Relation.I2Q].lookup(
                     item, self.expansion_k)
@@ -96,11 +159,159 @@ class TwoLayerRetriever:
                 absorb(item_keys, ids, dists, 1.0)
         return query_keys, item_keys
 
+    def expand_keys_batch(self, queries: np.ndarray,
+                          preclicks: Sequence[Sequence[int]]
+                          ) -> List[KeyExpansion]:
+        """Vectorised layer 1 for a whole micro-batch of requests.
+
+        All index lookups run batched; duplicate (request, key) pairs
+        from different expansion paths are max-merged via ``np.unique``
+        over flattened triples.
+        """
+        queries = np.asarray(queries, dtype=np.int64).ravel()
+        num_requests = queries.size
+        if len(preclicks) != num_requests:
+            raise ValueError("got %d queries but %d pre-click lists"
+                             % (num_requests, len(preclicks)))
+        request_ids = np.arange(num_requests, dtype=np.int64)
+
+        # triple sinks for the two key namespaces
+        q_req: List[np.ndarray] = []
+        q_key: List[np.ndarray] = []
+        q_score: List[np.ndarray] = []
+        i_req: List[np.ndarray] = []
+        i_key: List[np.ndarray] = []
+        i_score: List[np.ndarray] = []
+
+        def expand(relation: Relation, src_req: np.ndarray,
+                   src_keys: np.ndarray, sink_req: List[np.ndarray],
+                   sink_key: List[np.ndarray],
+                   sink_score: List[np.ndarray]) -> None:
+            if relation not in self.indices or src_keys.size == 0:
+                return
+            ids, dists = self.indices[relation].lookup_batch(
+                src_keys, self.expansion_k)
+            width = ids.shape[1]
+            sink_req.append(np.repeat(src_req, width))
+            sink_key.append(ids.ravel().astype(np.int64))
+            sink_score.append(
+                _fermi(dists, self.radius, self.temperature).ravel())
+
+        if num_requests:
+            if self.keep_original_query:
+                q_req.append(request_ids)
+                q_key.append(queries)
+                q_score.append(np.ones(num_requests))
+            expand(Relation.Q2Q, request_ids, queries, q_req, q_key, q_score)
+            expand(Relation.Q2I, request_ids, queries, i_req, i_key, i_score)
+
+        sizes = np.fromiter((len(p) for p in preclicks), dtype=np.int64,
+                            count=num_requests)
+        if sizes.sum():
+            flat_req = np.repeat(request_ids, sizes)
+            flat_items = np.concatenate(
+                [np.asarray(list(p), dtype=np.int64) for p in preclicks
+                 if len(p)])
+            i_req.append(flat_req)
+            i_key.append(flat_items)
+            i_score.append(np.ones(flat_items.size))
+            expand(Relation.I2Q, flat_req, flat_items, q_req, q_key, q_score)
+            expand(Relation.I2I, flat_req, flat_items, i_req, i_key, i_score)
+
+        def grouped(reqs, keys, scores):
+            if not reqs:
+                return [(np.empty(0, dtype=np.int64),
+                         np.empty(0))] * num_requests
+            return _group_reduce(np.concatenate(reqs), np.concatenate(keys),
+                                 np.concatenate(scores), num_requests,
+                                 reduce="max")
+
+        return [KeyExpansion(qk, qs, ik, isc)
+                for (qk, qs), (ik, isc) in zip(grouped(q_req, q_key, q_score),
+                                               grouped(i_req, i_key, i_score))]
+
     # -- layer 2: ad retrieval ------------------------------------------------------
+
+    def gather_batch(self, expansions: Sequence[KeyExpansion],
+                     k: int = 20) -> List[RetrievalResult]:
+        """Vectorised layer 2: expanded keys → ranked ads per request.
+
+        Q2A/I2A lookups run batched over all keys of all requests; the
+        per-path scores are summed per (request, ad) with
+        ``np.unique`` + ``np.bincount`` over flattened triples.
+        """
+        num_requests = len(expansions)
+        req_parts: List[np.ndarray] = []
+        ad_parts: List[np.ndarray] = []
+        score_parts: List[np.ndarray] = []
+
+        def gather(relation: Relation, key_arrays, score_arrays) -> None:
+            if relation not in self.indices:
+                return
+            sizes = np.fromiter((a.size for a in key_arrays), dtype=np.int64,
+                                count=num_requests)
+            if sizes.sum() == 0:
+                return
+            keys = np.concatenate(key_arrays)
+            key_scores = np.concatenate(score_arrays)
+            request_ids = np.repeat(np.arange(num_requests, dtype=np.int64),
+                                    sizes)
+            ids, dists = self.indices[relation].lookup_batch(
+                keys, self.ads_per_key)
+            hop = _fermi(dists, self.radius, self.temperature)
+            path_scores = key_scores[:, None] * hop
+            width = ids.shape[1]
+            req_parts.append(np.repeat(request_ids, width))
+            ad_parts.append(ids.ravel().astype(np.int64))
+            score_parts.append(path_scores.ravel())
+
+        gather(Relation.Q2A, [e.query_keys for e in expansions],
+               [e.query_scores for e in expansions])
+        gather(Relation.I2A, [e.item_keys for e in expansions],
+               [e.item_scores for e in expansions])
+
+        if not req_parts:
+            return [RetrievalResult(ads=np.empty(0, dtype=np.int64),
+                                    scores=np.empty(0),
+                                    num_keys=e.num_keys) for e in expansions]
+
+        segments = _group_reduce(np.concatenate(req_parts),
+                                 np.concatenate(ad_parts),
+                                 np.concatenate(score_parts),
+                                 num_requests, reduce="sum")
+        results = []
+        for expansion, (segment_ads, segment_scores) in zip(expansions,
+                                                            segments):
+            order = np.argsort(-segment_scores)[:k]
+            results.append(RetrievalResult(ads=segment_ads[order],
+                                           scores=segment_scores[order],
+                                           num_keys=expansion.num_keys))
+        return results
+
+    def retrieve_batch(self, queries: Sequence[int],
+                       preclicks: Optional[Sequence[Sequence[int]]] = None,
+                       k: int = 20) -> List[RetrievalResult]:
+        """Run both layers for a micro-batch of requests, vectorised."""
+        queries = np.asarray(queries, dtype=np.int64).ravel()
+        if preclicks is None:
+            preclicks = [()] * queries.size
+        return self.gather_batch(self.expand_keys_batch(queries, preclicks),
+                                 k=k)
 
     def retrieve(self, query: int, preclick_items: Sequence[int] = (),
                  k: int = 20) -> RetrievalResult:
-        """Run both layers and return the top-``k`` ads."""
+        """Top-``k`` ads for one request (wrapper over the batch path)."""
+        return self.retrieve_batch(np.array([query]), [preclick_items],
+                                   k=k)[0]
+
+    def retrieve_looped(self, query: int, preclick_items: Sequence[int] = (),
+                        k: int = 20) -> RetrievalResult:
+        """Reference single-request path with per-key dict accumulation.
+
+        Kept as the semantic baseline the vectorised
+        :meth:`retrieve_batch` is asserted against (tests and
+        ``benchmarks/bench_serving_batch.py``).
+        """
         query_keys, item_keys = self.expand_keys(query, preclick_items)
         ad_scores: Dict[int, float] = {}
 

@@ -1,0 +1,30 @@
+"""Serving subsystem: micro-batched engine + queueing simulator.
+
+Splits the online half of the deployment (paper §IV-C, Fig. 6/9) out of
+:mod:`repro.retrieval`:
+
+- :mod:`repro.serving.engine` — :class:`ServingEngine`, which
+  micro-batches requests through the vectorised retriever, caches
+  layer-1 key expansions in an LRU, and keeps per-worker timings;
+- :mod:`repro.serving.simulator` — the Erlang-C (M/M/c)
+  :class:`ServingSimulator` mapping measured (batched) service times to
+  the response-time-vs-QPS curve of paper Fig. 9.
+"""
+
+from repro.serving.engine import EngineStats, LRUCache, ServingEngine
+from repro.serving.simulator import (
+    ServingSimulator,
+    ServingStats,
+    erlang_b,
+    erlang_c_wait,
+)
+
+__all__ = [
+    "EngineStats",
+    "LRUCache",
+    "ServingEngine",
+    "ServingSimulator",
+    "ServingStats",
+    "erlang_b",
+    "erlang_c_wait",
+]

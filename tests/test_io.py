@@ -82,3 +82,17 @@ class TestIndexPersistence:
         stored = load_index_set(path)
         assert Relation.Q2A in stored
         assert Relation.I2I not in stored
+
+    def test_index_set_save_load_methods_agree_with_io(self, trained,
+                                                       tmp_path):
+        """IndexSet.save/.load are the io functions behind one method."""
+        index_set = IndexSet(trained, top_k=7).build(
+            [Relation.Q2A, Relation.I2A])
+        path = index_set.save(tmp_path / "methods.npz")
+        via_io = load_index_set(path)
+        via_method = IndexSet.load(path)
+        for relation in (Relation.Q2A, Relation.I2A):
+            ids_a, dists_a = via_io[relation].lookup(2)
+            ids_b, dists_b = via_method[relation].lookup(2)
+            assert np.array_equal(ids_a, ids_b)
+            assert np.allclose(dists_a, dists_b)

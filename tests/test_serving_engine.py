@@ -1,0 +1,207 @@
+"""Tests for the serving subsystem: engine, LRU cache, queue model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models import make_model
+from repro.retrieval import IndexSet, TwoLayerRetriever
+from repro.serving import (
+    LRUCache,
+    ServingEngine,
+    ServingSimulator,
+    erlang_b,
+    erlang_c_wait,
+)
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def retriever(train_graph):
+    model = make_model("amcad", train_graph, num_subspaces=2, subspace_dim=4,
+                       seed=17)
+    Trainer(model, TrainerConfig(steps=15, batch_size=32, seed=17)).train()
+    return TwoLayerRetriever(IndexSet(model, top_k=15).build(),
+                             expansion_k=4, ads_per_key=4)
+
+
+@pytest.fixture
+def traffic(rng):
+    queries = rng.integers(100, size=20)
+    preclicks = [list(rng.integers(40, size=2)) for _ in queries]
+    return queries, preclicks
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")            # refresh a
+        cache.put("c", 3)         # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+
+
+class TestServingEngine:
+    def test_results_match_direct_batch(self, retriever, traffic):
+        queries, preclicks = traffic
+        engine = ServingEngine(retriever, max_batch_size=6)
+        served = engine.serve(queries, preclicks, k=8)
+        direct = retriever.retrieve_batch(queries, preclicks, k=8)
+        assert len(served) == len(direct)
+        for a, b in zip(served, direct):
+            assert np.array_equal(a.ads, b.ads)
+            assert np.allclose(a.scores, b.scores)
+
+    def test_micro_batch_accounting(self, retriever, traffic):
+        queries, preclicks = traffic
+        engine = ServingEngine(retriever, max_batch_size=8)
+        engine.serve(queries, preclicks)
+        assert engine.stats.requests == 20
+        assert engine.stats.batches == 3
+        assert engine.stats.batch_sizes == [8, 8, 4]
+        assert engine.stats.mean_batch_size == pytest.approx(20 / 3)
+
+    def test_cache_hits_on_repeat_traffic(self, retriever, traffic):
+        queries, preclicks = traffic
+        engine = ServingEngine(retriever, max_batch_size=8, cache_size=64)
+        cold = engine.serve(queries, preclicks, k=6)
+        assert engine.stats.cache_misses == 20
+        warm = engine.serve(queries, preclicks, k=6)
+        assert engine.stats.cache_hits == 20
+        assert engine.stats.cache_hit_rate == pytest.approx(0.5)
+        for a, b in zip(cold, warm):
+            assert np.array_equal(a.ads, b.ads)
+            assert np.allclose(a.scores, b.scores)
+
+    def test_cache_disabled(self, retriever, traffic):
+        queries, preclicks = traffic
+        engine = ServingEngine(retriever, max_batch_size=8, cache_size=0)
+        engine.serve(queries, preclicks)
+        engine.serve(queries, preclicks)
+        assert engine.stats.cache_hits == 0
+
+    def test_per_worker_timing(self, retriever, traffic):
+        queries, preclicks = traffic
+        engine = ServingEngine(retriever, max_batch_size=4, num_workers=3)
+        engine.serve(queries, preclicks)
+        assert len(engine.stats.worker_busy_seconds) == 3
+        assert all(t > 0 for t in engine.stats.worker_busy_seconds)
+        assert engine.stats.service_seconds > 0
+        assert engine.stats.throughput_rps > 0
+
+    def test_submit_flush_cycle(self, retriever, traffic):
+        queries, preclicks = traffic
+        engine = ServingEngine(retriever, max_batch_size=3)
+        out = []
+        for query, items in zip(queries[:7], preclicks[:7]):
+            out.extend(engine.submit(int(query), items, k=5))
+        assert engine.pending_requests == 1     # 7 = 3 + 3 + 1 pending
+        out.extend(engine.flush(k=5))
+        assert engine.pending_requests == 0
+        direct = retriever.retrieve_batch(queries[:7], preclicks[:7], k=5)
+        assert len(out) == 7
+        for a, b in zip(out, direct):
+            assert np.array_equal(a.ads, b.ads)
+
+    def test_flush_empty_is_noop(self, retriever):
+        engine = ServingEngine(retriever)
+        assert engine.flush() == []
+
+    def test_length_mismatch_raises(self, retriever):
+        engine = ServingEngine(retriever)
+        with pytest.raises(ValueError):
+            engine.serve([0, 1], [[2]])
+
+
+def _erlang_c_wait_factorial(arrival_rate, service_rate, servers):
+    """The textbook formula the stable recursion must reproduce."""
+    if arrival_rate <= 0:
+        return 0.0
+    utilisation = arrival_rate / (servers * service_rate)
+    if utilisation >= 1.0:
+        return float("inf")
+    offered = arrival_rate / service_rate
+    summation = sum(offered ** n / math.factorial(n) for n in range(servers))
+    tail = offered ** servers / (math.factorial(servers)
+                                 * (1.0 - utilisation))
+    p_wait = tail / (summation + tail)
+    return p_wait / (servers * service_rate - arrival_rate)
+
+
+class TestErlang:
+    def test_matches_factorial_formula_small_fleets(self):
+        for servers in (1, 2, 4, 8, 16):
+            for load in (0.2, 0.5, 0.9):
+                lam = load * servers * 10.0
+                assert erlang_c_wait(lam, 10.0, servers) == pytest.approx(
+                    _erlang_c_wait_factorial(lam, 10.0, servers), rel=1e-10)
+
+    def test_large_fleet_is_finite(self):
+        # the factorial formula overflows beyond ~170 servers
+        wait = erlang_c_wait(900.0, 1.0, 1000)
+        assert 0.0 < wait < float("inf")
+
+    def test_zero_load(self):
+        assert erlang_c_wait(0.0, 10.0, 1000) == 0.0
+
+    def test_unstable_is_infinite(self):
+        assert erlang_c_wait(1001.0, 1.0, 1000) == float("inf")
+
+    def test_wait_grows_with_load(self):
+        waits = [erlang_c_wait(lam, 1.0, 1000) for lam in (500, 800, 990)]
+        assert waits[0] < waits[1] < waits[2]
+
+    def test_erlang_b_in_unit_interval(self):
+        # tiny offered loads legitimately underflow to 0.0 blocking
+        for offered in (0.5, 10.0, 500.0):
+            for servers in (1, 100, 1000):
+                assert 0.0 <= erlang_b(offered, servers) <= 1.0
+        assert erlang_b(900.0, 1000) > 0.0
+
+
+class TestSimulatorWithEngine:
+    def test_batched_measurement_feeds_sweep(self, retriever, traffic):
+        queries, preclicks = traffic
+        engine = ServingEngine(retriever, max_batch_size=8, cache_size=64)
+        sim = ServingSimulator(retriever, num_workers=16)
+        service = sim.measure_batched_service_time(engine, queries,
+                                                   preclicks, repeats=2)
+        assert service > 0
+        assert sim.service_seconds == service
+        stats = sim.sweep([10, 100, 1000])
+        times = [s.response_time_ms for s in stats]
+        assert times[0] <= times[1] <= times[2]
+
+    def test_injected_service_time_needs_no_retriever(self):
+        sim = ServingSimulator(num_workers=1000, service_seconds=0.001)
+        stats = sim.sweep([900000, 990000])   # 90% and 99% utilisation
+        assert stats[0].response_time_ms < stats[1].response_time_ms
+        assert sim.saturation_qps() == pytest.approx(1000 / 0.001)
+
+    def test_measure_without_retriever_raises(self):
+        sim = ServingSimulator()
+        with pytest.raises(RuntimeError):
+            sim.measure_service_time([0], [[1]])
+
+    def test_legacy_import_path_still_works(self):
+        from repro.retrieval.serving import (
+            ServingSimulator as LegacySimulator,
+            erlang_c_wait as legacy_wait,
+        )
+        assert LegacySimulator is ServingSimulator
+        assert legacy_wait is erlang_c_wait

@@ -1,0 +1,187 @@
+"""Tests for the vectorised batch retrieval path and the Fermi fix."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.graph.schema import Relation
+from repro.models import make_model
+from repro.retrieval import IndexSet, TwoLayerRetriever
+from repro.retrieval.index import InvertedIndex
+from repro.retrieval.two_layer import KeyExpansion, _fermi
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def retriever(train_graph):
+    model = make_model("amcad", train_graph, num_subspaces=2, subspace_dim=4,
+                       seed=12)
+    Trainer(model, TrainerConfig(steps=20, batch_size=32, seed=12)).train()
+    index_set = IndexSet(model, top_k=20).build()
+    return TwoLayerRetriever(index_set, expansion_k=5, ads_per_key=5)
+
+
+@pytest.fixture
+def requests(train_graph, rng):
+    num_queries = train_graph.num_nodes[list(train_graph.num_nodes)[0]]
+    queries = rng.integers(num_queries, size=64)
+    preclicks = [list(rng.integers(50, size=rng.integers(0, 4)))
+                 for _ in queries]
+    return queries, preclicks
+
+
+class TestFermi:
+    def test_no_overflow_warning_at_large_distance(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = _fermi(np.array([1e3, 1e6, 1e12]))
+        assert np.all(out >= 0.0) and np.all(out <= 1e-300)
+
+    def test_matches_textbook_formula_in_safe_range(self):
+        d = np.linspace(0.0, 10.0, 41)
+        naive = 1.0 / (1.0 + np.exp(-5.0 * (1.0 - d)))
+        assert np.allclose(_fermi(d), naive, rtol=1e-12)
+
+    def test_monotone_decreasing_and_bounded(self):
+        d = np.linspace(0, 50, 101)
+        s = _fermi(d)
+        assert np.all(np.diff(s) <= 0)
+        assert np.all((s >= 0) & (s <= 1))
+
+
+def _assert_same_topk(result, reference):
+    """Identical ranking; id order may differ only inside exact score ties.
+
+    The batch path sums per-ad path scores in a different order than
+    the looped dict accumulation, so mathematically tied ads may
+    permute across platforms — anything else must match exactly.
+    """
+    assert result.ads.size == reference.ads.size
+    assert np.allclose(result.scores, reference.scores)
+    if np.array_equal(result.ads, reference.ads):
+        return
+    scores = reference.scores
+    boundaries = np.flatnonzero(~np.isclose(scores[1:], scores[:-1]))
+    starts = np.concatenate([[0], boundaries + 1])
+    stops = np.concatenate([boundaries + 1, [scores.size]])
+    for a, b in zip(starts, stops):
+        run_a = set(result.ads[a:b].tolist())
+        run_b = set(reference.ads[a:b].tolist())
+        # the last run may be truncated differently by k among ties
+        assert run_a == run_b or b == scores.size, \
+            "rankings differ outside a tied-score run"
+
+
+class TestBatchParity:
+    def test_retrieve_batch_matches_looped_reference(self, retriever,
+                                                     requests):
+        queries, preclicks = requests
+        batch = retriever.retrieve_batch(queries, preclicks, k=10)
+        assert len(batch) == len(queries)
+        for query, items, result in zip(queries, preclicks, batch):
+            reference = retriever.retrieve_looped(int(query), items, k=10)
+            _assert_same_topk(result, reference)
+            assert result.num_keys == reference.num_keys
+
+    def test_retrieve_is_thin_wrapper(self, retriever, requests):
+        queries, preclicks = requests
+        single = retriever.retrieve(int(queries[0]), preclicks[0], k=10)
+        batch = retriever.retrieve_batch(queries[:1], preclicks[:1], k=10)[0]
+        assert np.array_equal(single.ads, batch.ads)
+        assert np.allclose(single.scores, batch.scores)
+
+    def test_expansion_matches_dict_reference(self, retriever, requests):
+        queries, preclicks = requests
+        expansions = retriever.expand_keys_batch(queries[:8], preclicks[:8])
+        for query, items, expansion in zip(queries[:8], preclicks[:8],
+                                           expansions):
+            query_keys, item_keys = retriever.expand_keys(int(query), items)
+            assert set(expansion.query_keys.tolist()) == set(query_keys)
+            assert set(expansion.item_keys.tolist()) == set(item_keys)
+            for key, score in zip(expansion.query_keys,
+                                  expansion.query_scores):
+                assert score == pytest.approx(query_keys[int(key)])
+            for key, score in zip(expansion.item_keys,
+                                  expansion.item_scores):
+                assert score == pytest.approx(item_keys[int(key)])
+
+    def test_default_preclicks(self, retriever, requests):
+        queries, __ = requests
+        bare = retriever.retrieve_batch(queries[:4], k=5)
+        explicit = retriever.retrieve_batch(queries[:4], [()] * 4, k=5)
+        for a, b in zip(bare, explicit):
+            assert np.array_equal(a.ads, b.ads)
+
+    def test_length_mismatch_raises(self, retriever):
+        with pytest.raises(ValueError):
+            retriever.retrieve_batch([0, 1], [[2]])
+
+    def test_empty_batch(self, retriever):
+        assert retriever.retrieve_batch([], []) == []
+
+
+def _index(relation, ids, dists):
+    return InvertedIndex(relation=relation, ids=np.asarray(ids),
+                         distances=np.asarray(dists, dtype=float),
+                         build_seconds=0.0)
+
+
+class _StubIndexSet:
+    def __init__(self, indices):
+        self.indices = indices
+
+    def __getitem__(self, relation):
+        return self.indices[relation]
+
+    def __contains__(self, relation):
+        return relation in self.indices
+
+
+class TestBatchSemantics:
+    """Deterministic scoring checks on a hand-built index set."""
+
+    @pytest.fixture
+    def stub_retriever(self):
+        indices = {
+            Relation.Q2A: _index(Relation.Q2A, [[1, 2]], [[0.1, 0.5]]),
+            Relation.I2A: _index(Relation.I2A,
+                                 [[9, 9]] * 5 + [[2, 3]],
+                                 [[9.0, 9.0]] * 5 + [[0.2, 0.4]]),
+        }
+        return TwoLayerRetriever(_StubIndexSet(indices), expansion_k=2,
+                                 ads_per_key=2)
+
+    def test_multi_path_ad_ranks_first_in_batch(self, stub_retriever):
+        results = stub_retriever.retrieve_batch([0, 0], [[5], []], k=4)
+        assert results[0].ads[0] == 2          # reachable via both hops
+        assert set(results[1].ads.tolist()) == {1, 2}
+
+    def test_scores_sum_over_paths(self, stub_retriever):
+        result = stub_retriever.retrieve_batch([0], [[5]], k=4)[0]
+        lookup = dict(zip(result.ads.tolist(), result.scores.tolist()))
+        assert lookup[2] == pytest.approx(
+            float(_fermi(np.array([0.5]))[0] + _fermi(np.array([0.2]))[0]))
+
+    def test_empty_index_set(self):
+        retriever = TwoLayerRetriever(_StubIndexSet({}))
+        results = retriever.retrieve_batch([0, 1], [[1], []], k=5)
+        for result in results:
+            assert result.ads.size == 0
+            assert result.scores.size == 0
+        assert results[0].num_keys == 2        # query + pre-click seeds
+
+    def test_duplicate_preclicks_counted_once(self, stub_retriever):
+        once = stub_retriever.retrieve_batch([0], [[5]], k=4)[0]
+        twice = stub_retriever.retrieve_batch([0], [[5, 5]], k=4)[0]
+        assert np.array_equal(once.ads, twice.ads)
+        assert np.allclose(once.scores, twice.scores)
+        assert once.num_keys == twice.num_keys
+
+    def test_key_expansion_dataclass(self, stub_retriever):
+        expansion = stub_retriever.expand_keys_batch(
+            np.array([0]), [[5]])[0]
+        assert isinstance(expansion, KeyExpansion)
+        assert expansion.num_keys == 2
+        assert expansion.query_scores[0] == 1.0
+        assert expansion.item_scores[0] == 1.0
