@@ -47,8 +47,7 @@ def test_fig09_qps_latency(benchmark, bench_data):
         sim = ServingSimulator(retriever, num_workers=1)
         service = sim.measure_batched_service_time(engine, queries,
                                                    preclicks, repeats=2)
-        workers = int(np.ceil(max(QPS_SWEEP) * service / 0.8))
-        sim.num_workers = workers
+        workers = sim.size_fleet(max(QPS_SWEEP), target_utilisation=0.8)
 
         stats = sim.sweep(QPS_SWEEP)
         lines = ["batched service time: %.3f ms/request, fleet: %d workers"

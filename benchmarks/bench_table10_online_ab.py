@@ -4,55 +4,42 @@ The paper swaps the AMCAD_E retrieval channel for AMCAD on 4% of live
 traffic for 7 days: overall CTR +0.5%, RPM +1.1%, with the largest lift
 on page 1 and decaying lifts on later pages.
 
-Here both channels are trained on the same multi-day synthetic window,
-serve identical simulated request streams through their two-layer
-retrievers, and clicks are drawn from the platform's ground-truth
-relevance model (common random numbers per request).
+Runs on the declarative pipeline API: one
+:class:`~repro.pipeline.PipelineConfig` with ``eval.ab_control`` trains
+both channels on the same multi-day synthetic window, serves identical
+simulated request streams through their two-layer retrievers, and draws
+clicks from the platform's ground-truth relevance model (common random
+numbers per request).
 """
 
 import pytest
 
-from repro.bench import (
-    load_dataset,
-    scaled_steps,
-    write_report,
-)
-from repro.data.logs import merge_logs
-from repro.evaluation import ABTestConfig, run_ab_test
-from repro.graph import build_graph
-from repro.models import make_model
-from repro.retrieval import IndexSet, TwoLayerRetriever
-from repro.training import Trainer, TrainerConfig
+from repro.bench import scaled_steps, write_report
+from repro.pipeline import Pipeline, PipelineConfig
 
 
-def _build_channel(name, graph, seed=1):
-    model = make_model(name, graph, num_subspaces=2, subspace_dim=4,
-                       seed=seed)
-    Trainer(model, TrainerConfig(steps=scaled_steps(250), batch_size=64,
-                                 learning_rate=0.05, seed=seed)).train()
-    index_set = IndexSet(model, top_k=50).build()
-    return TwoLayerRetriever(index_set)
-
-
-def test_table10_online_ab(benchmark, bench_data):
+def test_table10_online_ab(benchmark):
     def run():
-        # Use a *fresh* simulator so the A/B window is deterministic
-        # regardless of which other benches consumed the shared
-        # simulator's random stream before this one.  The universe is
-        # identical (same seed), so the bench_data graphs stay valid.
-        from repro.data import SimulatorConfig, SponsoredSearchSimulator
-        simulator = SponsoredSearchSimulator(SimulatorConfig(seed=3))
-        simulator.simulate_days(2)  # align with the shared dataset state
-        logs = simulator.simulate_days(4, start_day=30)
-        graph = build_graph(bench_data.universe, logs)
-        control = _build_channel("amcad_e", graph)     # the paper's control
-        treatment = _build_channel("amcad", graph)     # the AMCAD channel
-        # RPM is dominated by a few expensive-ad clicks (Pareto prices),
-        # so it needs much more traffic than CTR for a stable sign
-        result = run_ab_test(bench_data.universe, control, treatment,
-                             ABTestConfig(num_requests=1200, seed=5))
-        ctr = result.ctr_lift()
-        rpm = result.rpm_lift()
+        config = PipelineConfig.from_dict({
+            "name": "table10-ab",
+            # a multi-day window of the shared bench platform (seed 3)
+            "data": {"days": 4, "train_days": 4, "seed": 3},
+            "model": {"name": "amcad", "num_subspaces": 2,
+                      "subspace_dim": 4, "seed": 1},
+            "training": {"steps": scaled_steps(250), "batch_size": 64,
+                         "learning_rate": 0.05, "seed": 1},
+            "index": {"top_k": 50},
+            "serving": {"enabled": False},
+            # RPM is dominated by a few expensive-ad clicks (Pareto
+            # prices), so it needs much more traffic than CTR for a
+            # stable sign
+            "eval": {"auc_samples": 0, "ranking_ks": [],
+                     "ab_control": "amcad_e", "ab_requests": 1200,
+                     "seed": 5},
+        })
+        report = Pipeline(config).run()
+        ctr = report.ab_ctr_lift
+        rpm = report.ab_rpm_lift
         lines = ["%-10s %8s %8s" % ("page", "CTR", "RPM")]
         for page in sorted(k for k in ctr if k != "overall"):
             lines.append("%-10s %+7.1f%% %+7.1f%%" % (page, ctr[page],

@@ -1,68 +1,56 @@
-"""Quickstart: train AMCAD on a simulated sponsored-search platform.
+"""Quickstart: the declarative pipeline API, end to end in about a minute.
 
-Runs the whole pipeline end to end in about a minute:
-
-1. simulate two days of user behaviour logs,
-2. build the heterogeneous query-item-ad graph from day 0,
-3. train the adaptive mixed-curvature model,
-4. evaluate next-day link-prediction AUC on day 1,
-5. retrieve ads for a sample query.
+One :class:`~repro.pipeline.PipelineConfig` describes the whole
+lifecycle — simulate two days of user behaviour, build the day-0
+heterogeneous graph, train the adaptive mixed-curvature model, build
+the six inverted indices, stand up batched serving and evaluate
+next-day AUC — and ``Pipeline.run()`` executes it.  The same config,
+saved as JSON, runs through ``python -m repro run --config ...``.
 
 Usage::
 
     python examples/quickstart.py
 """
 
-import numpy as np
+from repro.pipeline import Pipeline, PipelineConfig
 
-from repro.data import SimulatorConfig, SponsoredSearchSimulator
-from repro.evaluation import next_auc
-from repro.graph import build_graph
-from repro.models import make_model
-from repro.retrieval import IndexSet, TwoLayerRetriever
-from repro.training import Trainer, TrainerConfig
+CONFIG = {
+    "name": "quickstart",
+    "data": {
+        "days": 2, "train_days": 1, "seed": 7,
+        "simulator": {"num_queries": 500, "num_items": 800,
+                      "num_ads": 200, "num_users": 300},
+    },
+    "model": {"name": "amcad", "num_subspaces": 2, "subspace_dim": 4,
+              "seed": 0},
+    "training": {"steps": 120, "batch_size": 64, "learning_rate": 0.05},
+    "index": {"top_k": 30},
+    "serving": {"measure_requests": 20, "measure_repeats": 1},
+    "eval": {"auc_samples": 300, "ranking_ks": [10]},
+}
 
 
 def main():
-    print("== 1. simulating the platform")
-    simulator = SponsoredSearchSimulator(SimulatorConfig(
-        num_queries=500, num_items=800, num_ads=200, num_users=300, seed=7))
-    logs = simulator.simulate_days(2)
-    print("   day 0: %d sessions, day 1: %d sessions"
-          % (len(logs[0]), len(logs[1])))
+    config = PipelineConfig.from_dict(CONFIG)
+    print("== running the %r pipeline (simulate -> graph -> train -> "
+          "index -> serve -> eval)" % config.name)
+    pipeline = Pipeline(config)
+    pipeline.run(verbose=True)
 
-    print("== 2. building the heterogeneous graph")
-    graph = build_graph(simulator.universe, logs[:1])
-    print("   %r" % graph)
-
-    print("== 3. training AMCAD (adaptive mixed-curvature)")
-    model = make_model("amcad", graph, num_subspaces=2, subspace_dim=4,
-                       seed=0)
-    trainer = Trainer(model, TrainerConfig(steps=120, batch_size=64,
-                                           learning_rate=0.05))
-    report = trainer.train(log_every=40)
-    print("   trained %d steps in %.1fs, final loss %.3f"
-          % (report.steps, report.wall_seconds, report.mean_tail_loss))
-    print("   learned curvatures:")
-    for name, kappas in model.curvature_report().items():
+    print("\n== learned curvatures")
+    for name, kappas in pipeline.ctx.model.curvature_report().items():
         if name.startswith("node"):
-            print("     %-12s %s" % (name, ["%.3f" % k for k in kappas]))
+            print("   %-12s %s" % (name, ["%.3f" % k for k in kappas]))
 
-    print("== 4. next-day evaluation")
-    next_graph = build_graph(simulator.universe, logs[1:])
-    auc = next_auc(model.similarity, next_graph, num_samples=300)
-    print("   next-day AUC: %.2f (random = 50)" % auc)
-
-    print("== 5. two-layer ad retrieval")
-    index_set = IndexSet(model, top_k=30).build()
-    retriever = TwoLayerRetriever(index_set)
+    print("\n== two-layer ad retrieval")
+    universe = pipeline.ctx.simulator.universe
+    tree = universe.category_tree
     query = 3
-    result = retriever.retrieve(query, preclick_items=[10, 42], k=8)
-    tree = simulator.universe.category_tree
-    q_cat = tree.name[simulator.universe.queries.category[query]]
+    result = pipeline.retriever.retrieve(query, preclick_items=[10, 42], k=8)
+    q_cat = tree.name[universe.queries.category[query]]
     print("   query %d (category %s) -> top ads:" % (query, q_cat))
     for ad, score in zip(result.ads, result.scores):
-        ad_cat = tree.name[simulator.universe.ads.category[ad]]
+        ad_cat = tree.name[universe.ads.category[ad]]
         print("     ad %-4d score %.3f  category %s" % (ad, score, ad_cat))
 
 

@@ -1,16 +1,22 @@
 """Production-style serving pipeline: two channels behind an A/B test.
 
-Mirrors the deployment story of paper §IV-C / §VI-F:
+Mirrors the deployment story of paper §IV-C / §VI-F on the declarative
+pipeline API:
 
-1. train two retrieval channels on a multi-day window — the Euclidean
-   control (AMCAD_E) and the adaptive mixed-curvature treatment (AMCAD);
-2. build the six inverted indices for each through the exact search
-   backend, persist them, and reload for model-free serving;
-3. stand up two-layer retrievers behind the micro-batching
-   ``ServingEngine`` and measure batched serving latency across a QPS
-   sweep (Fig. 9's curve);
-4. run a simulated A/B test and report CTR / RPM lift per page
-   (Table X's layout).
+1. one :class:`~repro.pipeline.PipelineConfig` trains both retrieval
+   channels on a multi-day window — the Euclidean control (AMCAD_E via
+   ``eval.ab_control``) and the adaptive mixed-curvature treatment;
+2. the run builds the six inverted indices per channel and persists
+   everything into an artifact directory (the ship-to-serving step of
+   paper Fig. 3);
+3. the serve stage measures batched service latency through the
+   micro-batching engine, sizes the worker fleet for the target QPS
+   via ``ServingSimulator.size_fleet`` and sweeps the Fig. 9 curve;
+4. the eval stage runs the simulated A/B test and reports CTR / RPM
+   lift per page (Table X's layout);
+5. finally ``Pipeline.from_artifacts`` reloads the artifacts with *no
+   model in scope* — exactly what a serving process does — and answers
+   the same requests as the in-memory retriever.
 
 Usage::
 
@@ -21,70 +27,62 @@ import tempfile
 
 import numpy as np
 
-from repro.data import SimulatorConfig, SponsoredSearchSimulator
-from repro.evaluation import ABTestConfig, run_ab_test
-from repro.graph import build_graph
-from repro.models import make_model
-from repro.retrieval import IndexSet, TwoLayerRetriever
-from repro.serving import ServingEngine, ServingSimulator
-from repro.training import Trainer, TrainerConfig
+from repro.pipeline import Pipeline, PipelineConfig
 
-
-def build_channel(name, graph, seed=0):
-    print("  training channel %r..." % name)
-    model = make_model(name, graph, num_subspaces=2, subspace_dim=4,
-                       seed=seed)
-    Trainer(model, TrainerConfig(steps=250, batch_size=64,
-                                 learning_rate=0.05, seed=seed)).train()
-    print("  building the six inverted indices...")
-    index_set = IndexSet(model, top_k=50).build()
-    print("    built in %.2fs" % index_set.total_build_seconds)
-    # ship-to-serving step: persist, then reload without the model —
-    # exactly what a serving process does (paper Fig. 3)
-    with tempfile.TemporaryDirectory() as tmp_dir:
-        path = index_set.save(tmp_dir + "/indices.npz")
-        served = IndexSet.load(path)
-    print("    persisted + reloaded for model-free serving")
-    return TwoLayerRetriever(served)
+CONFIG = {
+    "name": "serving-ab",
+    "data": {"days": 3, "train_days": 3, "seed": 21},
+    "model": {"name": "amcad", "num_subspaces": 2, "subspace_dim": 4,
+              "seed": 0},
+    "training": {"steps": 250, "batch_size": 64, "learning_rate": 0.05},
+    "index": {"top_k": 50},
+    "serving": {"max_batch_size": 16, "cache_size": 256,
+                "measure_requests": 40, "measure_repeats": 2,
+                "target_qps": 50000, "target_utilisation": 0.8,
+                "qps_sweep": [1000, 5000, 10000, 30000, 50000]},
+    "eval": {"auc_samples": 0, "ranking_ks": [],
+             "ab_control": "amcad_e", "ab_requests": 400, "seed": 9},
+}
 
 
 def main():
-    simulator = SponsoredSearchSimulator(SimulatorConfig(seed=21))
-    logs = simulator.simulate_days(3)
-    graph = build_graph(simulator.universe, logs)
-    print("3-day graph: %r" % graph)
+    config = PipelineConfig.from_dict(CONFIG)
+    with tempfile.TemporaryDirectory() as artifact_dir:
+        print("== offline run (trains control + treatment channels)")
+        pipeline = Pipeline(config, artifact_dir=artifact_dir)
+        report = pipeline.run(verbose=True)
 
-    print("\n== channels")
-    control = build_channel("amcad_e", graph)
-    treatment = build_channel("amcad", graph)
+        serve = report["serve"].info
+        print("\n== serving latency (Fig. 9)")
+        print("  batched service time %.3f ms (cache hit rate %.0f%%); "
+              "fleet of %d workers for %.0f qps at %.0f%% utilisation"
+              % (serve["service_ms"], 100 * serve["cache_hit_rate"],
+                 serve["fleet_workers"], serve["target_qps"],
+                 100 * serve["target_utilisation"]))
+        for point in serve["qps_sweep"]:
+            print("  qps %6.0f -> %.3f ms (utilisation %.2f)"
+                  % (point["qps"], point["response_time_ms"],
+                     point["utilisation"]))
 
-    print("\n== serving latency (Fig. 9)")
-    rng = np.random.default_rng(0)
-    queries = rng.integers(500, size=40)
-    preclicks = [list(rng.integers(200, size=2)) for _ in queries]
-    engine = ServingEngine(treatment, max_batch_size=16, cache_size=256)
-    sim = ServingSimulator(treatment, num_workers=1)
-    service = sim.measure_batched_service_time(engine, queries, preclicks,
-                                               repeats=2)
-    sim.num_workers = int(np.ceil(50000 * service / 0.8))
-    print("  batched service time %.3f ms (%d micro-batches, cache hit "
-          "rate %.0f%%); fleet of %d workers"
-          % (1000 * service, engine.stats.batches,
-             100 * engine.stats.cache_hit_rate, sim.num_workers))
-    for stat in sim.sweep([1000, 5000, 10000, 30000, 50000]):
-        print("  qps %6d -> %.3f ms (utilisation %.2f)"
-              % (stat.qps, stat.response_time_ms, stat.utilisation))
+        ctr, rpm = report.ab_ctr_lift, report.ab_rpm_lift
+        print("\n== A/B test (Table X): AMCAD vs AMCAD_E channel")
+        print("  %-10s %8s %8s" % ("page", "CTR", "RPM"))
+        for page in sorted(k for k in ctr if k != "overall"):
+            print("  %-10s %+7.2f%% %+7.2f%%" % (page, ctr[page], rpm[page]))
+        print("  %-10s %+7.2f%% %+7.2f%%"
+              % ("overall", ctr["overall"], rpm["overall"]))
 
-    print("\n== A/B test (Table X): AMCAD vs AMCAD_E channel")
-    result = run_ab_test(simulator.universe, control, treatment,
-                         ABTestConfig(num_requests=400, seed=9))
-    ctr = result.ctr_lift()
-    rpm = result.rpm_lift()
-    print("  %-10s %8s %8s" % ("page", "CTR", "RPM"))
-    for page in sorted(k for k in ctr if k != "overall"):
-        print("  %-10s %+7.2f%% %+7.2f%%" % (page, ctr[page], rpm[page]))
-    print("  %-10s %+7.2f%% %+7.2f%%"
-          % ("overall", ctr["overall"], rpm["overall"]))
+        print("\n== ship-to-serving: reload artifacts without the model")
+        served = Pipeline.from_artifacts(artifact_dir)
+        rng = np.random.default_rng(0)
+        queries = rng.integers(500, size=5)
+        preclicks = [list(rng.integers(200, size=2)) for _ in queries]
+        fresh = pipeline.retriever.retrieve_batch(queries, preclicks, k=8)
+        reloaded = served.serve(queries, preclicks, k=8)
+        agree = all(np.array_equal(a.ads, b.ads)
+                    for a, b in zip(fresh, reloaded))
+        print("  reloaded engine serves %d requests; ads identical to the "
+              "in-memory retriever: %s" % (len(reloaded), agree))
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ __all__ = [
     "retrieval",
     "serving",
     "evaluation",
+    "pipeline",
     "io",
     "bench",
 ]

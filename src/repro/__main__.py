@@ -1,0 +1,6 @@
+"""``python -m repro`` — the pipeline command line (see repro.pipeline.cli)."""
+
+from repro.pipeline.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

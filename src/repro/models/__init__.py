@@ -16,7 +16,13 @@ Metapath2Vec) are a separate skip-gram family in
 from repro.models.features import FeatureEmbedding, LRUFeatureRegistry
 from repro.models.encoder import NodeEncoder
 from repro.models.scorer import EdgeScorer
-from repro.models.amcad import AMCAD, AMCADConfig, make_model
+from repro.models.amcad import (
+    AMCAD,
+    AMCADConfig,
+    MODEL_VARIANTS,
+    list_models,
+    make_model,
+)
 from repro.models.baselines import (
     SKIPGRAM_BASELINES,
     SkipGramConfig,
@@ -31,6 +37,8 @@ __all__ = [
     "EdgeScorer",
     "AMCAD",
     "AMCADConfig",
+    "MODEL_VARIANTS",
+    "list_models",
     "make_model",
     "SkipGramModel",
     "SkipGramConfig",

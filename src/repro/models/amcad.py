@@ -37,6 +37,23 @@ from repro.models.scorer import EdgeScorer
 
 _SIGNATURE_KAPPA = {"H": -1.0, "E": 0.0, "S": 1.0, "U": None}
 
+#: Variant names :func:`make_model` accepts, besides ``product:<SIG>``
+#: signatures (kept in the docstring's presentation order).
+MODEL_VARIANTS = (
+    "amcad", "amcad_e", "amcad_h", "amcad_s", "amcad_u",
+    "hyperml", "hgcn", "gil", "m2gnn",
+    "amcad-mixed", "amcad-curv", "amcad-fusion", "amcad-proj", "amcad-comb",
+)
+
+
+def list_models() -> List[str]:
+    """Registered variant names for :func:`make_model`.
+
+    ``product:<SIG>`` signatures (e.g. ``product:HS``) are additionally
+    accepted for any non-empty string over ``E``/``H``/``S``/``U``.
+    """
+    return list(MODEL_VARIANTS)
+
 
 @dataclasses.dataclass
 class AMCADConfig:
@@ -346,5 +363,8 @@ def make_model(name: str, graph: HetGraph, *, num_subspaces: int = 2,
     elif key == "amcad-comb":
         cfg = AMCADConfig(space="adaptive", attention="uniform", **base)
     else:
-        raise ValueError("unknown model name %r" % name)
+        raise ValueError(
+            "unknown model name %r; choose one of: %s, or 'product:<SIG>' "
+            "with a signature over 'EHSU' (e.g. 'product:HS')"
+            % (name, ", ".join(MODEL_VARIANTS)))
     return AMCAD(graph, cfg)

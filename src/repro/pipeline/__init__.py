@@ -1,0 +1,70 @@
+"""Declarative end-to-end pipeline (offline training → index build → serving).
+
+The deployed system (paper Fig. 3) is a pipeline: offline training
+ships embeddings to index builders, which ship indices to serving.
+This package makes that lifecycle a first-class API instead of
+hand-wired glue:
+
+- :mod:`repro.pipeline.config` — :class:`PipelineConfig`, a validated
+  dataclass tree (data / graph / model / training / index / serving /
+  eval) with JSON round-trip and ``--set``-style dotted overrides, so
+  every experiment in the repo is expressible as one config file;
+- :mod:`repro.pipeline.stages` — composable stage objects
+  (:class:`DataStage` … :class:`EvalStage`), each producing a named,
+  persistable artifact;
+- :mod:`repro.pipeline.artifacts` — the :class:`ArtifactStore`
+  directory layout (config, checkpoint, indices, report) a serving
+  process reloads via :meth:`Pipeline.from_artifacts` without
+  retraining (the paper's ship-to-serving step);
+- :mod:`repro.pipeline.core` — the :class:`Pipeline` orchestrator and
+  the structured :class:`~repro.pipeline.report.PipelineReport`;
+- :mod:`repro.pipeline.cli` — the ``python -m repro`` command line
+  (``run`` / ``serve`` / ``eval`` / ``models`` subcommands).
+"""
+
+from repro.pipeline.config import (
+    DataConfig,
+    EvalConfig,
+    GraphConfig,
+    IndexConfig,
+    ModelConfig,
+    PipelineConfig,
+    ServingConfig,
+    TrainingConfig,
+)
+from repro.pipeline.artifacts import ArtifactStore
+from repro.pipeline.report import PipelineReport, StageReport
+from repro.pipeline.stages import (
+    DataStage,
+    EvalStage,
+    GraphStage,
+    IndexStage,
+    PipelineContext,
+    ServeStage,
+    Stage,
+    TrainStage,
+)
+from repro.pipeline.core import Pipeline
+
+__all__ = [
+    "PipelineConfig",
+    "DataConfig",
+    "GraphConfig",
+    "ModelConfig",
+    "TrainingConfig",
+    "IndexConfig",
+    "ServingConfig",
+    "EvalConfig",
+    "ArtifactStore",
+    "PipelineReport",
+    "StageReport",
+    "PipelineContext",
+    "Stage",
+    "DataStage",
+    "GraphStage",
+    "TrainStage",
+    "IndexStage",
+    "ServeStage",
+    "EvalStage",
+    "Pipeline",
+]

@@ -1,0 +1,73 @@
+"""The on-disk artifact layout of one pipeline run.
+
+A run writes everything a serving process needs into one directory —
+the paper's ship-to-serving step (Fig. 3) as a filesystem contract:
+
+    <artifact_dir>/
+        config.json          the validated PipelineConfig
+        model.npz            AMCAD checkpoint (repro.io.save_model)
+        control_model.npz    A/B control checkpoint (only with eval.ab_control)
+        indices.npz          the built IndexSet (IndexSet.save)
+        control_indices.npz  control-channel indices (only with eval.ab_control)
+        report.json          the structured PipelineReport
+
+``Pipeline.from_artifacts(dir)`` reloads config + indices and serves
+without the model or any retraining; ``python -m repro eval`` reloads
+the checkpoint as well to recompute offline metrics.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.report import PipelineReport
+
+
+class ArtifactStore:
+    """Named artifacts under one directory."""
+
+    CONFIG = "config.json"
+    MODEL = "model.npz"
+    CONTROL_MODEL = "control_model.npz"
+    INDICES = "indices.npz"
+    CONTROL_INDICES = "control_indices.npz"
+    REPORT = "report.json"
+
+    def __init__(self, root, create: bool = True):
+        self.root = pathlib.Path(root)
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise FileNotFoundError("artifact directory %s does not exist"
+                                    % self.root)
+
+    def path(self, name: str) -> pathlib.Path:
+        return self.root / name
+
+    def has(self, name: str) -> bool:
+        return self.path(name).exists()
+
+    def files(self) -> List[str]:
+        """Names of the artifacts currently present."""
+        return sorted(p.name for p in self.root.iterdir() if p.is_file())
+
+    # -- config --------------------------------------------------------------
+
+    def save_config(self, config: PipelineConfig) -> pathlib.Path:
+        return config.save(self.path(self.CONFIG))
+
+    def load_config(self) -> PipelineConfig:
+        return PipelineConfig.load(self.path(self.CONFIG))
+
+    # -- report --------------------------------------------------------------
+
+    def save_report(self, report: PipelineReport) -> pathlib.Path:
+        return report.save(self.path(self.REPORT))
+
+    def load_report(self) -> PipelineReport:
+        return PipelineReport.load(self.path(self.REPORT))
+
+    def __repr__(self) -> str:
+        return "ArtifactStore(%s: %s)" % (self.root, ", ".join(self.files()))

@@ -1,0 +1,187 @@
+"""The ``python -m repro`` command line.
+
+Subcommands cover the full lifecycle:
+
+- ``run``    — execute a configured pipeline end to end and persist
+  its artifacts (``--config config.json``, dotted ``--set`` overrides);
+- ``serve``  — reload a finished run's artifacts and answer retrieval
+  requests with no model and no retraining;
+- ``eval``   — recompute the offline metrics from persisted artifacts;
+- ``models`` — list the registered model variant names.
+
+Examples::
+
+    python -m repro run --config examples/configs/tiny.json
+    python -m repro run --config c.json --set training.steps=500 \
+        --set model.name=amcad_e --artifacts artifacts/euclidean
+    python -m repro serve --artifacts artifacts/tiny --queries 3,14,15
+    python -m repro eval --artifacts artifacts/tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.models.amcad import list_models
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.core import Pipeline
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="AMCAD reproduction pipeline: offline training -> "
+                    "index build -> serving, driven by one JSON config.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a configured pipeline end to end")
+    run.add_argument("--config", metavar="PATH",
+                     help="pipeline config JSON (default: built-in defaults)")
+    run.add_argument("--artifacts", metavar="DIR",
+                     help="artifact directory (overrides config.artifact_dir)")
+    run.add_argument("--set", dest="overrides", action="append", default=[],
+                     metavar="SECTION.KEY=VALUE",
+                     help="override a config value, e.g. training.steps=500 "
+                          "(repeatable; values parsed as JSON)")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-stage progress lines")
+
+    serve = sub.add_parser(
+        "serve", help="reload artifacts and serve retrieval requests")
+    serve.add_argument("--artifacts", metavar="DIR", required=True)
+    serve.add_argument("--queries", metavar="Q1,Q2,...",
+                       help="comma-separated query ids (default: random)")
+    serve.add_argument("--preclicks", metavar="P;P;...",
+                       help="per-request pre-click items: semicolon-separated "
+                            "comma lists aligned with --queries, e.g. "
+                            "'1,2;;9' (default: none)")
+    serve.add_argument("--requests", type=int, default=8,
+                       help="number of random requests when --queries is "
+                            "not given (default: %(default)s)")
+    serve.add_argument("--k", type=int, default=None,
+                       help="ads per request (default: config serving.k)")
+    serve.add_argument("--seed", type=int, default=0)
+
+    evaluate = sub.add_parser(
+        "eval", help="recompute offline metrics from artifacts")
+    evaluate.add_argument("--artifacts", metavar="DIR", required=True)
+    evaluate.add_argument("--set", dest="overrides", action="append",
+                          default=[], metavar="SECTION.KEY=VALUE",
+                          help="override an eval-time config value, e.g. "
+                               "eval.auc_samples=1000")
+
+    sub.add_parser("models", help="list the registered model variants")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    config = (PipelineConfig.load(args.config) if args.config
+              else PipelineConfig())
+    if args.overrides:
+        config = config.with_overrides(args.overrides)
+    pipeline = Pipeline(config, artifact_dir=args.artifacts)
+    if not args.quiet:
+        print("running pipeline %r%s" % (
+            config.name,
+            " -> %s" % pipeline.store.root if pipeline.store else
+            " (in memory; set artifact_dir or --artifacts to persist)"))
+    report = pipeline.run(verbose=not args.quiet)
+    if args.quiet:
+        print(report.summary())
+    else:
+        # the verbose run already printed one line per stage
+        print("pipeline %r done — %d stages, %.1fs total"
+              % (config.name, len(report.stages), report.total_seconds))
+    if pipeline.store is not None:
+        print("artifacts: %s (%s)" % (pipeline.store.root,
+                                      ", ".join(pipeline.store.files())))
+    return 0
+
+
+def _parse_requests(args, num_queries: int, num_items: int):
+    if args.queries:
+        queries = [int(q) for q in args.queries.split(",") if q.strip()]
+        bad = [q for q in queries if not 0 <= q < num_queries]
+        if bad:
+            raise SystemExit("query id(s) %s out of range [0, %d)"
+                             % (bad, num_queries))
+        preclicks: List[List[int]] = [[] for _ in queries]
+        if args.preclicks:
+            groups = args.preclicks.split(";")
+            if len(groups) != len(queries):
+                raise SystemExit("--preclicks has %d group(s) but --queries "
+                                 "has %d" % (len(groups), len(queries)))
+            preclicks = [[int(p) for p in group.split(",") if p.strip()]
+                         for group in groups]
+            bad = [p for group in preclicks for p in group
+                   if not 0 <= p < num_items]
+            if bad:
+                raise SystemExit("pre-click item id(s) %s out of range "
+                                 "[0, %d)" % (bad, num_items))
+        return queries, preclicks
+    if args.preclicks:
+        raise SystemExit("--preclicks requires --queries (random requests "
+                         "draw their own pre-clicks)")
+    rng = np.random.default_rng(args.seed)
+    queries = [int(q) for q in rng.integers(num_queries, size=args.requests)]
+    preclicks = [[int(p) for p in rng.integers(num_items, size=2)]
+                 for _ in queries]
+    return queries, preclicks
+
+
+def _cmd_serve(args) -> int:
+    pipeline = Pipeline.from_artifacts(args.artifacts)
+    sim_cfg = pipeline.config.data.simulator_config()
+    queries, preclicks = _parse_requests(args, sim_cfg.num_queries,
+                                         sim_cfg.num_items)
+    results = pipeline.serve(queries, preclicks, k=args.k)
+    for query, items, result in zip(queries, preclicks, results):
+        ads = ", ".join("%d (%.3f)" % (ad, score)
+                        for ad, score in zip(result.ads, result.scores))
+        print("query %-5d preclicks %-12s -> %s"
+              % (query, items or "[]", ads or "(no ads)"))
+    stats = pipeline.engine.stats
+    print("served %d request(s) in %d micro-batch(es), %.3f ms/request"
+          % (stats.requests, stats.batches, 1000.0 * stats.service_seconds))
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    pipeline = Pipeline.from_artifacts(args.artifacts)
+    if args.overrides:
+        # only the eval section may change: the persisted model and
+        # indices are only meaningful against the dataset, graph and
+        # geometry they were produced with
+        not_eval = [a for a in args.overrides
+                    if not a.strip().startswith("eval.")]
+        if not_eval:
+            raise SystemExit("eval only accepts eval.* overrides (the "
+                             "artifacts were produced with the persisted "
+                             "config); got %s" % ", ".join(map(repr, not_eval)))
+        pipeline.config = pipeline.ctx.config = \
+            pipeline.config.with_overrides(args.overrides)
+    info = pipeline.evaluate()
+    print(json.dumps(info, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_models(_args) -> int:
+    for name in list_models():
+        print(name)
+    print("product:<SIG>   (any signature over E/H/S/U, e.g. product:HS)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"run": _cmd_run, "serve": _cmd_serve, "eval": _cmd_eval,
+               "models": _cmd_models}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

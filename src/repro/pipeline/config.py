@@ -1,0 +1,360 @@
+"""The declarative configuration tree for :class:`~repro.pipeline.core.Pipeline`.
+
+One :class:`PipelineConfig` describes a full offline→serving lifecycle:
+which platform to simulate, how to build the graph, which model variant
+to train and how, how the six inverted indices are constructed, how the
+serving layer is sized, and what to evaluate.  Every section is a
+dataclass validated on construction, and the whole tree round-trips
+through ``to_dict``/``from_dict`` and JSON, so an experiment is a file:
+
+    config = PipelineConfig.load("experiment.json")
+    config = config.with_overrides(["training.steps=500"])
+    Pipeline(config).run()
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.data.synthetic import SimulatorConfig
+from repro.graph.schema import Relation
+from repro.models.amcad import AMCADConfig, list_models
+from repro.retrieval.backend import BACKENDS
+from repro.training.trainer import TrainerConfig
+
+
+def _known_fields(cls) -> List[str]:
+    return [f.name for f in dataclasses.fields(cls)]
+
+
+def _reject_unknown(section: str, given: Dict[str, Any], cls) -> None:
+    allowed = set(_known_fields(cls))
+    unknown = sorted(set(given) - allowed)
+    if unknown:
+        raise ValueError(
+            "unknown %s key(s) %s; known keys: %s"
+            % (section, ", ".join(map(repr, unknown)),
+               ", ".join(sorted(allowed))))
+
+
+@dataclasses.dataclass
+class DataConfig:
+    """Which synthetic platform to simulate and how to split its days."""
+
+    #: total days of behaviour logs to simulate
+    days: int = 2
+    #: leading days used to build the training graph; the remainder is
+    #: the held-out next-day evaluation window
+    train_days: int = 1
+    seed: int = 7
+    #: overrides forwarded to :class:`~repro.data.synthetic.SimulatorConfig`
+    #: (e.g. ``{"num_queries": 500}``); the seed comes from ``seed`` above
+    simulator: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.days < 1:
+            raise ValueError("data.days must be >= 1, got %d" % self.days)
+        if not 1 <= self.train_days <= self.days:
+            raise ValueError("data.train_days must be in [1, data.days=%d], "
+                             "got %d" % (self.days, self.train_days))
+        if "seed" in self.simulator:
+            raise ValueError("set data.seed, not data.simulator['seed']")
+        _reject_unknown("data.simulator", self.simulator, SimulatorConfig)
+
+    @property
+    def eval_days(self) -> int:
+        return self.days - self.train_days
+
+    def simulator_config(self) -> SimulatorConfig:
+        return SimulatorConfig(seed=self.seed, **self.simulator)
+
+
+@dataclasses.dataclass
+class GraphConfig:
+    """Behaviour-log → heterogeneous-graph construction knobs."""
+
+    semantic_threshold: float = 0.4
+    max_semantic_degree: int = 20
+
+    def __post_init__(self):
+        if not 0.0 <= self.semantic_threshold <= 1.0:
+            raise ValueError("graph.semantic_threshold must be in [0, 1], "
+                             "got %r" % self.semantic_threshold)
+        if self.max_semantic_degree < 1:
+            raise ValueError("graph.max_semantic_degree must be >= 1")
+
+
+@dataclasses.dataclass
+class ModelConfig:
+    """Which model variant to build, and its geometry."""
+
+    name: str = "amcad"
+    num_subspaces: int = 2
+    subspace_dim: int = 4
+    seed: int = 0
+    #: extra :class:`~repro.models.amcad.AMCADConfig` overrides
+    overrides: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        key = self.name.lower()
+        if key.startswith("product:"):
+            signature = key.split(":", 1)[1]
+            if not signature or any(ch not in "ehsu" for ch in signature):
+                raise ValueError(
+                    "model.name %r: product signature must be a non-empty "
+                    "string over 'EHSU', e.g. 'product:HS'" % self.name)
+        elif key not in list_models():
+            raise ValueError(
+                "model.name %r is not a registered variant; choose one of: "
+                "%s, or 'product:<SIG>'"
+                % (self.name, ", ".join(list_models())))
+        if self.num_subspaces < 1 or self.subspace_dim < 1:
+            raise ValueError("model geometry must be positive, got "
+                             "num_subspaces=%d subspace_dim=%d"
+                             % (self.num_subspaces, self.subspace_dim))
+        reserved = {"num_subspaces", "subspace_dim", "seed"}
+        if reserved & set(self.overrides):
+            raise ValueError("set model.%s directly, not via model.overrides"
+                             % "/".join(sorted(reserved & set(self.overrides))))
+        _reject_unknown("model.overrides", self.overrides, AMCADConfig)
+
+
+@dataclasses.dataclass
+class TrainingConfig:
+    """Training-loop hyper-parameters (mirrors :class:`TrainerConfig`)."""
+
+    steps: int = 200
+    batch_size: int = 64
+    num_negatives: int = 6
+    easy_ratio: float = 2.0 / 3.0
+    learning_rate: float = 0.05
+    warmup_steps: int = 10
+    clip_norm: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.steps < 1:
+            raise ValueError("training.steps must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("training.batch_size must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("training.learning_rate must be > 0")
+
+    def trainer_config(self) -> TrainerConfig:
+        return TrainerConfig(**dataclasses.asdict(self))
+
+
+@dataclasses.dataclass
+class IndexConfig:
+    """Offline inverted-index construction."""
+
+    top_k: int = 50
+    backend: str = "exact"
+    backend_kwargs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    num_workers: int = 1
+    batch_size: int = 256
+    #: relations to build (``"q2q"`` … ``"i2a"``); ``None`` = all six
+    relations: Optional[List[str]] = None
+
+    def __post_init__(self):
+        if self.top_k < 1:
+            raise ValueError("index.top_k must be >= 1")
+        if self.backend not in BACKENDS:
+            raise ValueError("index.backend %r is not registered; choose "
+                             "one of: %s"
+                             % (self.backend, ", ".join(sorted(BACKENDS))))
+        if self.relations is not None:
+            valid = {r.value for r in Relation}
+            unknown = sorted(set(self.relations) - valid)
+            if unknown:
+                raise ValueError("index.relations has unknown relation(s) "
+                                 "%s; valid: %s"
+                                 % (unknown, ", ".join(sorted(valid))))
+
+    def relation_list(self) -> Optional[List[Relation]]:
+        if self.relations is None:
+            return None
+        return [Relation(value) for value in self.relations]
+
+
+@dataclasses.dataclass
+class ServingConfig:
+    """Online serving layer: retriever knobs, engine, fleet sizing."""
+
+    enabled: bool = True
+    expansion_k: int = 10
+    ads_per_key: int = 10
+    k: int = 20
+    max_batch_size: int = 32
+    cache_size: int = 1024
+    #: size of the synthetic request stream used to measure the batched
+    #: service time (0 skips measurement and the QPS sweep)
+    measure_requests: int = 40
+    measure_repeats: int = 2
+    preclicks_per_request: int = 2
+    #: offered load the fleet is sized for (via ``size_fleet``)
+    target_qps: float = 50000.0
+    target_utilisation: float = 0.8
+    qps_sweep: List[float] = dataclasses.field(
+        default_factory=lambda: [1000.0, 5000.0, 10000.0, 30000.0, 50000.0])
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.k < 1 or self.expansion_k < 1 or self.ads_per_key < 1:
+            raise ValueError("serving.k/expansion_k/ads_per_key must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("serving.max_batch_size must be >= 1")
+        if self.measure_requests < 0:
+            raise ValueError("serving.measure_requests must be >= 0")
+        if self.measure_repeats < 1:
+            raise ValueError("serving.measure_repeats must be >= 1")
+        if self.preclicks_per_request < 0:
+            raise ValueError("serving.preclicks_per_request must be >= 0")
+        if not 0.0 < self.target_utilisation <= 1.0:
+            raise ValueError("serving.target_utilisation must be in (0, 1], "
+                             "got %r" % self.target_utilisation)
+        if self.target_qps <= 0:
+            raise ValueError("serving.target_qps must be > 0")
+
+
+@dataclasses.dataclass
+class EvalConfig:
+    """What to evaluate after training and index construction."""
+
+    enabled: bool = True
+    #: next-day link-prediction AUC sample pairs (0 disables)
+    auc_samples: int = 300
+    #: Hitrate/nDCG cutoffs against next-day click ground truth
+    #: (empty disables the ranking evaluation)
+    ranking_ks: List[int] = dataclasses.field(default_factory=lambda: [10, 100])
+    max_queries: int = 150
+    #: model variant for the A/B control channel (``None`` disables the
+    #: simulated online A/B test; e.g. ``"amcad_e"`` for the paper's setup)
+    ab_control: Optional[str] = None
+    ab_requests: int = 400
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.auc_samples < 0:
+            raise ValueError("eval.auc_samples must be >= 0")
+        if any(k < 1 for k in self.ranking_ks):
+            raise ValueError("eval.ranking_ks must be positive")
+        if self.ab_control is not None:
+            # reuse the model-name validation
+            ModelConfig(name=self.ab_control)
+            if self.ab_requests < 1:
+                raise ValueError("eval.ab_requests must be >= 1 when "
+                                 "eval.ab_control is set")
+
+
+_SECTIONS = {
+    "data": DataConfig,
+    "graph": GraphConfig,
+    "model": ModelConfig,
+    "training": TrainingConfig,
+    "index": IndexConfig,
+    "serving": ServingConfig,
+    "eval": EvalConfig,
+}
+
+
+@dataclasses.dataclass
+class PipelineConfig:
+    """The whole lifecycle as one validated, serialisable object."""
+
+    name: str = "pipeline"
+    #: default artifact directory for ``Pipeline`` runs (CLI ``--artifacts``
+    #: overrides; ``None`` keeps the run in memory)
+    artifact_dir: Optional[str] = None
+    data: DataConfig = dataclasses.field(default_factory=DataConfig)
+    graph: GraphConfig = dataclasses.field(default_factory=GraphConfig)
+    model: ModelConfig = dataclasses.field(default_factory=ModelConfig)
+    training: TrainingConfig = dataclasses.field(default_factory=TrainingConfig)
+    index: IndexConfig = dataclasses.field(default_factory=IndexConfig)
+    serving: ServingConfig = dataclasses.field(default_factory=ServingConfig)
+    eval: EvalConfig = dataclasses.field(default_factory=EvalConfig)
+
+    # -- dict / JSON round-trip ----------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PipelineConfig":
+        """Build and validate a config from a plain dict (e.g. JSON)."""
+        payload = dict(payload)
+        _reject_unknown("pipeline", payload, cls)
+        kwargs: Dict[str, Any] = {}
+        for key, value in payload.items():
+            section_cls = _SECTIONS.get(key)
+            if section_cls is None:
+                kwargs[key] = value
+                continue
+            if not isinstance(value, dict):
+                raise ValueError("section %r must be an object, got %r"
+                                 % (key, type(value).__name__))
+            _reject_unknown(key, value, section_cls)
+            kwargs[key] = section_cls(**value)
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineConfig":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "PipelineConfig":
+        return cls.from_json(pathlib.Path(path).read_text())
+
+    # -- CLI-style overrides -------------------------------------------------
+
+    #: dotted paths whose values are free-form dicts: overrides may
+    #: introduce keys there that the base config does not carry yet
+    #: (they are still validated against the wrapped dataclass by
+    #: ``from_dict``)
+    _FREE_FORM_PATHS = frozenset(
+        {"data.simulator", "model.overrides", "index.backend_kwargs"})
+
+    def with_overrides(self, assignments: Sequence[str]) -> "PipelineConfig":
+        """A new config with ``section.key=value`` assignments applied.
+
+        Values are parsed as JSON where possible (``200`` → int,
+        ``true`` → bool, ``[10,100]`` → list, ``null`` → None) and fall
+        back to plain strings; the result is re-validated in full.
+        """
+        payload = self.to_dict()
+        for assignment in assignments:
+            if "=" not in assignment:
+                raise ValueError("override %r is not of the form "
+                                 "section.key=value" % assignment)
+            dotted, raw = assignment.split("=", 1)
+            try:
+                value = json.loads(raw)
+            except json.JSONDecodeError:
+                value = raw
+            target = payload
+            parts = dotted.strip().split(".")
+            for part in parts[:-1]:
+                if not isinstance(target.get(part), dict):
+                    raise ValueError(
+                        "override %r: %r is not a config section; "
+                        "available: %s"
+                        % (assignment, part, ", ".join(sorted(target))))
+                target = target[part]
+            free_form = ".".join(parts[:-1]) in self._FREE_FORM_PATHS
+            if parts[-1] not in target and not free_form:
+                raise ValueError(
+                    "override %r: unknown key %r; available: %s"
+                    % (assignment, parts[-1], ", ".join(sorted(target))))
+            target[parts[-1]] = value
+        return PipelineConfig.from_dict(payload)

@@ -1,0 +1,164 @@
+"""The :class:`Pipeline` orchestrator.
+
+``Pipeline(config).run()`` drives the six stages in order, times each,
+persists artifacts (when an artifact directory is configured) and
+returns a structured :class:`~repro.pipeline.report.PipelineReport`.
+
+``Pipeline.from_artifacts(dir)`` is the serving side of the contract:
+it reloads the config and the built indices from disk and stands up
+the retriever + micro-batching engine with *no model and no
+retraining* — the paper's ship-to-serving step (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.pipeline.artifacts import ArtifactStore
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.report import PipelineReport, StageReport, jsonify
+from repro.pipeline.stages import (
+    DEFAULT_STAGES,
+    EvalStage,
+    PipelineContext,
+)
+from repro.retrieval.index import IndexSet
+from repro.retrieval.two_layer import TwoLayerRetriever
+from repro.serving.engine import ServingEngine
+
+
+class Pipeline:
+    """One configured offline→serving lifecycle.
+
+    Parameters
+    ----------
+    config:
+        The validated :class:`PipelineConfig`.
+    artifact_dir:
+        Where to persist artifacts; overrides ``config.artifact_dir``.
+        When both are ``None`` the run stays in memory.
+    context:
+        Optional pre-populated :class:`PipelineContext` (e.g. from
+        :meth:`PipelineContext.fork_data`) so sweeps over one dataset
+        skip re-simulation.  Its config/store are rebound to this
+        pipeline's.
+    """
+
+    def __init__(self, config: PipelineConfig,
+                 artifact_dir: Optional[str] = None,
+                 context: Optional[PipelineContext] = None):
+        self.config = config
+        root = artifact_dir if artifact_dir is not None else config.artifact_dir
+        self.store = ArtifactStore(root) if root else None
+        if context is None:
+            context = PipelineContext(config=config, store=self.store)
+        else:
+            context.config = config
+            context.store = self.store
+        self.ctx = context
+        self.report: Optional[PipelineReport] = None
+
+    # -- the full offline run ------------------------------------------------
+
+    def run(self, verbose: bool = False) -> PipelineReport:
+        """Execute every stage in order; persist config + report at the end."""
+        stage_reports: List[StageReport] = []
+        for stage_cls in DEFAULT_STAGES:
+            stage = stage_cls()
+            start = time.perf_counter()
+            info = stage.run(self.ctx) or {}
+            elapsed = time.perf_counter() - start
+            stage_reports.append(StageReport(name=stage.name,
+                                             wall_seconds=elapsed,
+                                             info=jsonify(info)))
+            if verbose:
+                print("  [%-5s] %6.2fs  %s"
+                      % (stage.name, elapsed, info.get("summary", "")))
+        self.report = PipelineReport(pipeline=self.config.name,
+                                     stages=stage_reports)
+        if self.store is not None:
+            self.store.save_config(self.config)
+            self.store.save_report(self.report)
+        return self.report
+
+    # -- the serving side ----------------------------------------------------
+
+    @classmethod
+    def from_artifacts(cls, directory) -> "Pipeline":
+        """Reload a finished run for model-free serving.
+
+        Only the config and the persisted indices are needed; the
+        retriever and engine come up exactly as configured, and
+        :meth:`serve` answers requests without any retraining.
+        """
+        store = ArtifactStore(directory, create=False)
+        if not store.has(ArtifactStore.CONFIG):
+            raise FileNotFoundError("no %s under %s — not a pipeline "
+                                    "artifact directory"
+                                    % (ArtifactStore.CONFIG, directory))
+        config = store.load_config()
+        pipeline = cls(config, artifact_dir=str(directory))
+        ctx = pipeline.ctx
+        ctx.index_set = IndexSet.load(store.path(ArtifactStore.INDICES))
+        if store.has(ArtifactStore.CONTROL_INDICES):
+            ctx.control_index_set = IndexSet.load(
+                store.path(ArtifactStore.CONTROL_INDICES))
+        # retriever + engine come up lazily through the properties below,
+        # from the same config the offline run persisted
+        if store.has(ArtifactStore.REPORT):
+            pipeline.report = store.load_report()
+        return pipeline
+
+    @property
+    def retriever(self) -> TwoLayerRetriever:
+        if self.ctx.retriever is None:
+            if self.ctx.index_set is None:
+                raise RuntimeError("no indices yet — run() the pipeline or "
+                                   "load one via from_artifacts()")
+            self.ctx.retriever = self.ctx.make_retriever(self.ctx.index_set)
+        return self.ctx.retriever
+
+    @property
+    def engine(self) -> ServingEngine:
+        if self.ctx.engine is None:
+            serving = self.config.serving
+            self.ctx.engine = ServingEngine(
+                self.retriever, max_batch_size=serving.max_batch_size,
+                cache_size=serving.cache_size)
+        return self.ctx.engine
+
+    def serve(self, queries: Sequence[int],
+              preclicks: Optional[Sequence[Sequence[int]]] = None,
+              k: Optional[int] = None):
+        """Answer a request stream through the micro-batching engine."""
+        return self.engine.serve(queries, preclicks,
+                                 k=k if k is not None else self.config.serving.k)
+
+    # -- standalone re-evaluation (CLI ``eval``) -----------------------------
+
+    def evaluate(self) -> Dict[str, Any]:
+        """Recompute the eval stage from persisted artifacts.
+
+        Rebuilds the (deterministic) dataset and graphs from the
+        config, reloads the model checkpoint — indices are already
+        loaded when this pipeline came from :meth:`from_artifacts` —
+        and runs :class:`EvalStage`.
+        """
+        from repro.pipeline.stages import DataStage, GraphStage
+        DataStage().run(self.ctx)
+        GraphStage().run(self.ctx)
+        if self.ctx.model is None:
+            if self.store is None or not self.store.has(ArtifactStore.MODEL):
+                raise FileNotFoundError(
+                    "no model checkpoint to evaluate — run the pipeline "
+                    "with an artifact directory first")
+            from repro.io import load_model
+            self.ctx.model = load_model(self.store.path(ArtifactStore.MODEL),
+                                        self.ctx.train_graph)
+        if self.ctx.index_set is None:
+            if self.store is None or not self.store.has(ArtifactStore.INDICES):
+                raise FileNotFoundError("no indices to evaluate against")
+            self.ctx.index_set = IndexSet.load(
+                self.store.path(ArtifactStore.INDICES))
+        return jsonify(EvalStage().run(self.ctx))

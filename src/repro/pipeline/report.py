@@ -1,0 +1,146 @@
+"""Structured results of one pipeline run.
+
+Every stage contributes a :class:`StageReport` — its wall-clock plus a
+JSON-safe ``info`` dict (training losses, AUC, batched service time,
+A/B lifts, …).  The :class:`PipelineReport` aggregates them, persists
+as ``report.json`` next to the other artifacts, and renders the
+human-readable summary the CLI prints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays so ``json.dumps`` works."""
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+@dataclasses.dataclass
+class StageReport:
+    """One stage's outcome: name, wall-clock, and metric payload."""
+
+    name: str
+    wall_seconds: float
+    info: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name,
+                "wall_seconds": float(self.wall_seconds),
+                "info": jsonify(self.info)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "StageReport":
+        return cls(name=payload["name"],
+                   wall_seconds=float(payload["wall_seconds"]),
+                   info=dict(payload.get("info", {})))
+
+
+@dataclasses.dataclass
+class PipelineReport:
+    """Per-stage reports plus convenience accessors for headline numbers."""
+
+    pipeline: str
+    stages: List[StageReport] = dataclasses.field(default_factory=list)
+
+    def stage(self, name: str) -> Optional[StageReport]:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    def __getitem__(self, name: str) -> StageReport:
+        stage = self.stage(name)
+        if stage is None:
+            raise KeyError("no stage %r in report (have: %s)"
+                           % (name, ", ".join(s.name for s in self.stages)))
+        return stage
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(s.wall_seconds for s in self.stages))
+
+    def _info(self, stage: str, key: str, default=None):
+        report = self.stage(stage)
+        if report is None:
+            return default
+        return report.info.get(key, default)
+
+    # headline numbers (None when the producing stage was skipped)
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        return self._info("train", "final_loss")
+
+    @property
+    def training_losses(self) -> List[float]:
+        return self._info("train", "losses", [])
+
+    @property
+    def next_auc(self) -> Optional[float]:
+        return self._info("eval", "next_auc")
+
+    @property
+    def service_seconds(self) -> Optional[float]:
+        return self._info("serve", "service_seconds")
+
+    @property
+    def ab_ctr_lift(self) -> Optional[Dict[str, float]]:
+        return self._info("eval", "ab_ctr_lift")
+
+    @property
+    def ab_rpm_lift(self) -> Optional[Dict[str, float]]:
+        return self._info("eval", "ab_rpm_lift")
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"pipeline": self.pipeline,
+                "total_seconds": self.total_seconds,
+                "stages": [s.to_dict() for s in self.stages]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PipelineReport":
+        return cls(pipeline=payload["pipeline"],
+                   stages=[StageReport.from_dict(s)
+                           for s in payload.get("stages", [])])
+
+    def save(self, path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
+                        + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "PipelineReport":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+    # -- human-readable rendering -------------------------------------------
+
+    def summary(self) -> str:
+        """Multi-line per-stage summary (what ``python -m repro run`` prints)."""
+        lines = ["pipeline %r — %d stages, %.1fs total"
+                 % (self.pipeline, len(self.stages), self.total_seconds)]
+        for stage in self.stages:
+            detail = stage.info.get("summary", "")
+            lines.append("  %-6s %7.2fs  %s"
+                         % (stage.name, stage.wall_seconds, detail))
+        return "\n".join(lines)

@@ -40,7 +40,7 @@ from repro.retrieval.two_layer import (
     RetrievalResult,
     TwoLayerRetriever,
 )
-from repro.retrieval.serving import ServingSimulator, ServingStats
+from repro.serving.simulator import ServingSimulator, ServingStats
 
 __all__ = [
     "BACKENDS",

@@ -1,10 +1,13 @@
-"""Compatibility shim — the simulator moved to :mod:`repro.serving`.
+"""Deprecated compatibility shim — the simulator moved to :mod:`repro.serving`.
 
 The Erlang-C :class:`ServingSimulator` now lives in
 :mod:`repro.serving.simulator` next to the micro-batching
 :class:`~repro.serving.engine.ServingEngine`; import from there in new
-code.  This module keeps the historical import path working.
+code.  This module keeps the historical import path working but emits a
+:class:`DeprecationWarning` on import.
 """
+
+import warnings
 
 from repro.serving.simulator import (  # noqa: F401
     ServingSimulator,
@@ -12,5 +15,11 @@ from repro.serving.simulator import (  # noqa: F401
     erlang_b,
     erlang_c_wait,
 )
+
+warnings.warn(
+    "repro.retrieval.serving is deprecated and will be removed; import "
+    "ServingSimulator, ServingStats, erlang_b and erlang_c_wait from "
+    "repro.serving instead",
+    DeprecationWarning, stacklevel=2)
 
 __all__ = ["ServingSimulator", "ServingStats", "erlang_b", "erlang_c_wait"]

@@ -23,6 +23,7 @@ thousands of workers.
 from __future__ import annotations
 
 import dataclasses
+import math
 import time
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
@@ -132,6 +133,23 @@ class ServingSimulator:
         if self._service_seconds is None:
             raise RuntimeError("call measure_service_time() first")
         return self._service_seconds
+
+    def size_fleet(self, qps: float, target_utilisation: float = 0.8) -> int:
+        """Workers needed to serve ``qps`` at the target utilisation.
+
+        Sets (and returns) ``num_workers = ceil(qps · service /
+        target_utilisation)`` from the measured service time, replacing
+        the by-hand ``sim.num_workers = ...`` mutation callers used to
+        do.  Requires a measured (or injected) service time.
+        """
+        if qps <= 0:
+            raise ValueError("qps must be > 0, got %r" % qps)
+        if not 0.0 < target_utilisation <= 1.0:
+            raise ValueError("target_utilisation must be in (0, 1], got %r"
+                             % target_utilisation)
+        offered = qps * self.service_seconds
+        self.num_workers = max(1, int(math.ceil(offered / target_utilisation)))
+        return self.num_workers
 
     def sweep(self, qps_values: Sequence[float]) -> List[ServingStats]:
         """Mean response time for each offered load (paper Fig. 9)."""

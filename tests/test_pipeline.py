@@ -1,0 +1,308 @@
+"""The `repro.pipeline` subsystem: config round-trips, staged runs,
+artifact reload parity, and the satellite helpers."""
+
+import dataclasses
+import importlib
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.models import list_models, make_model
+from repro.pipeline import (
+    ArtifactStore,
+    Pipeline,
+    PipelineConfig,
+    PipelineReport,
+)
+from repro.serving import ServingSimulator
+
+
+TINY = {
+    "name": "test-tiny",
+    "data": {
+        "days": 2, "train_days": 1, "seed": 11,
+        "simulator": {"num_queries": 220, "num_items": 320, "num_ads": 90,
+                      "num_users": 160, "tree_depth": 3, "tree_branching": 2},
+    },
+    "model": {"name": "amcad", "num_subspaces": 2, "subspace_dim": 4},
+    "training": {"steps": 12, "batch_size": 32},
+    "index": {"top_k": 10},
+    "serving": {"measure_requests": 8, "measure_repeats": 1,
+                "qps_sweep": [1000.0, 20000.0]},
+    "eval": {"auc_samples": 60, "ranking_ks": [10], "max_queries": 40},
+}
+
+
+def tiny_config(**section_updates):
+    payload = json.loads(json.dumps(TINY))
+    for section, update in section_updates.items():
+        payload.setdefault(section, {}).update(update)
+    return PipelineConfig.from_dict(payload)
+
+
+@pytest.fixture(scope="module")
+def run_pipeline(tmp_path_factory):
+    """One tiny end-to-end run with artifacts, shared by the module."""
+    artifact_dir = tmp_path_factory.mktemp("pipeline-artifacts")
+    pipeline = Pipeline(tiny_config(), artifact_dir=str(artifact_dir))
+    pipeline.run()
+    return pipeline
+
+
+class TestConfig:
+    def test_json_roundtrip_equality(self):
+        config = tiny_config()
+        assert PipelineConfig.from_json(config.to_json()) == config
+
+    def test_default_roundtrip(self):
+        config = PipelineConfig()
+        assert PipelineConfig.from_dict(config.to_dict()) == config
+
+    def test_save_load(self, tmp_path):
+        config = tiny_config()
+        path = config.save(tmp_path / "config.json")
+        assert PipelineConfig.load(path) == config
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown pipeline key"):
+            PipelineConfig.from_dict({"trainign": {}})
+
+    def test_unknown_section_key_rejected(self):
+        with pytest.raises(ValueError, match="training"):
+            PipelineConfig.from_dict({"training": {"step": 10}})
+
+    def test_unknown_simulator_key_rejected(self):
+        with pytest.raises(ValueError, match="data.simulator"):
+            PipelineConfig.from_dict(
+                {"data": {"simulator": {"num_querys": 10}}})
+
+    def test_unknown_model_name_rejected(self):
+        with pytest.raises(ValueError, match="registered variant"):
+            PipelineConfig.from_dict({"model": {"name": "amacd"}})
+
+    def test_bad_product_signature_rejected(self):
+        with pytest.raises(ValueError, match="EHSU"):
+            PipelineConfig.from_dict({"model": {"name": "product:XZ"}})
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="not registered"):
+            PipelineConfig.from_dict({"index": {"backend": "faiss"}})
+
+    def test_bad_serving_measurement_rejected(self):
+        with pytest.raises(ValueError, match="measure_repeats"):
+            PipelineConfig.from_dict({"serving": {"measure_repeats": 0}})
+        with pytest.raises(ValueError, match="preclicks_per_request"):
+            PipelineConfig.from_dict(
+                {"serving": {"preclicks_per_request": -1}})
+
+    def test_bad_day_split_rejected(self):
+        with pytest.raises(ValueError, match="train_days"):
+            PipelineConfig.from_dict({"data": {"days": 2, "train_days": 3}})
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(ValueError, match="relation"):
+            PipelineConfig.from_dict({"index": {"relations": ["q2x"]}})
+
+    def test_overrides(self):
+        config = tiny_config().with_overrides(
+            ["training.steps=99", "model.name=amcad_e",
+             "eval.ranking_ks=[10,20]", "serving.enabled=false"])
+        assert config.training.steps == 99
+        assert config.model.name == "amcad_e"
+        assert config.eval.ranking_ks == [10, 20]
+        assert config.serving.enabled is False
+        # the original is untouched
+        assert tiny_config().training.steps == 12
+
+    def test_override_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            tiny_config().with_overrides(["training.step=99"])
+
+    def test_override_can_introduce_free_form_keys(self):
+        # num_brands is absent from TINY's simulator dict (and from the
+        # all-defaults config) but is a valid SimulatorConfig field
+        config = tiny_config().with_overrides(
+            ["data.simulator.num_brands=10"])
+        assert config.data.simulator["num_brands"] == 10
+        config = PipelineConfig().with_overrides(
+            ["model.overrides.gcn_layers=0"])
+        assert config.model.overrides == {"gcn_layers": 0}
+
+    def test_override_free_form_keys_still_validated(self):
+        with pytest.raises(ValueError, match="data.simulator"):
+            tiny_config().with_overrides(["data.simulator.num_querys=10"])
+
+    def test_override_revalidates(self):
+        with pytest.raises(ValueError, match="steps"):
+            tiny_config().with_overrides(["training.steps=0"])
+
+
+class TestPipelineRun:
+    def test_stage_order_and_report(self, run_pipeline):
+        report = run_pipeline.report
+        assert [s.name for s in report.stages] == [
+            "data", "graph", "train", "index", "serve", "eval"]
+        assert report.total_seconds > 0
+        assert len(report.training_losses) == 12
+        assert np.isfinite(report.final_loss)
+        assert 0.0 <= report.next_auc <= 100.0
+        assert report.service_seconds > 0
+        assert report["serve"].info["fleet_workers"] >= 1
+        assert len(report["serve"].info["qps_sweep"]) == 2
+
+    def test_artifact_layout(self, run_pipeline):
+        store = run_pipeline.store
+        for name in (ArtifactStore.CONFIG, ArtifactStore.MODEL,
+                     ArtifactStore.INDICES, ArtifactStore.REPORT):
+            assert store.has(name), name
+        # the persisted report parses back and matches in shape
+        loaded = store.load_report()
+        assert [s.name for s in loaded.stages] == \
+            [s.name for s in run_pipeline.report.stages]
+        assert loaded.next_auc == pytest.approx(run_pipeline.report.next_auc)
+
+    def test_ranking_ks_clip_to_built_width(self, tmp_path):
+        # top_k=120 but only 90 ads: the q2a index is built 89 wide, so
+        # hr@100 must be dropped for q2a (not mislabelled) yet kept for
+        # q2i (320 items), and the artifact-reload eval must agree
+        config = tiny_config(training={"steps": 8},
+                             index={"top_k": 120},
+                             serving={"enabled": False},
+                             eval={"auc_samples": 0, "ranking_ks": [100]})
+        pipeline = Pipeline(config, artifact_dir=str(tmp_path))
+        info = pipeline.run()["eval"].info
+        assert "q2i" in info and "hr@100" in info["q2i"]
+        assert "q2a" not in info
+        reloaded = Pipeline.from_artifacts(tmp_path).evaluate()
+        assert "q2a" not in reloaded
+        assert reloaded["q2i"]["hr@100"] == \
+            pytest.approx(info["q2i"]["hr@100"])
+
+    def test_report_json_roundtrip(self, run_pipeline):
+        report = run_pipeline.report
+        payload = json.loads(json.dumps(report.to_dict()))
+        again = PipelineReport.from_dict(payload)
+        assert again.next_auc == pytest.approx(report.next_auc)
+        assert again.summary() == report.summary()
+
+
+class TestFromArtifacts:
+    def test_serving_parity_with_in_memory(self, run_pipeline):
+        """The reloaded pipeline returns the same ads as the in-memory one."""
+        served = Pipeline.from_artifacts(run_pipeline.store.root)
+        assert served.ctx.index_set.model is None  # truly model-free
+        rng = np.random.default_rng(5)
+        queries = rng.integers(220, size=12)
+        preclicks = [list(rng.integers(320, size=2)) for _ in queries]
+        fresh = run_pipeline.retriever.retrieve_batch(queries, preclicks, k=8)
+        reloaded = served.serve(queries, preclicks, k=8)
+        for a, b in zip(fresh, reloaded):
+            np.testing.assert_array_equal(a.ads, b.ads)
+            np.testing.assert_allclose(a.scores, b.scores)
+
+    def test_eval_from_artifacts_matches_run(self, run_pipeline):
+        served = Pipeline.from_artifacts(run_pipeline.store.root)
+        info = served.evaluate()
+        assert info["next_auc"] == pytest.approx(run_pipeline.report.next_auc)
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Pipeline.from_artifacts(tmp_path / "nope")
+
+    def test_ab_eval_without_control_artifacts_raises(self, run_pipeline):
+        # the artifacts were produced without a control channel, so an
+        # eval-time A/B request must fail loudly, not silently skip
+        served = Pipeline.from_artifacts(run_pipeline.store.root)
+        served.config = served.ctx.config = served.config.with_overrides(
+            ['eval.ab_control="amcad_e"'])
+        with pytest.raises(RuntimeError, match="no control channel"):
+            served.evaluate()
+
+
+class TestABPipeline:
+    def test_ab_smoke(self):
+        config = tiny_config(
+            training={"steps": 8},
+            serving={"enabled": False},
+            eval={"auc_samples": 0, "ranking_ks": [],
+                  "ab_control": "amcad_e", "ab_requests": 40},
+        )
+        report = Pipeline(config).run()
+        ctr = report.ab_ctr_lift
+        rpm = report.ab_rpm_lift
+        assert ctr is not None and "overall" in ctr
+        assert rpm is not None and "overall" in rpm
+        assert report["train"].info["control_model"] == "amcad_e"
+        assert report["serve"].info == {"enabled": False,
+                                        "summary": "disabled"}
+
+
+class TestSharedDataContext:
+    def test_fork_data_skips_resimulation(self, run_pipeline):
+        config = tiny_config(model={"name": "amcad_e"},
+                             training={"steps": 8},
+                             serving={"enabled": False},
+                             eval={"auc_samples": 40, "ranking_ks": []})
+        forked = Pipeline(config,
+                          context=run_pipeline.ctx.fork_data(config))
+        assert forked.ctx.simulator is run_pipeline.ctx.simulator
+        report = forked.run()
+        assert forked.ctx.train_graph is run_pipeline.ctx.train_graph
+        assert report["train"].info["model"] == "amcad_e"
+        # the source pipeline's trained model is untouched
+        assert run_pipeline.ctx.model is not forked.ctx.model
+
+
+class TestSatellites:
+    def test_list_models_contents(self):
+        models = list_models()
+        for expected in ("amcad", "amcad_e", "hgcn", "m2gnn", "amcad-comb"):
+            assert expected in models
+
+    def test_every_listed_model_constructs(self, train_graph):
+        # guards MODEL_VARIANTS against drifting from make_model's
+        # dispatch: every advertised name must actually build
+        for name in list_models():
+            assert make_model(name, train_graph, num_subspaces=2,
+                              subspace_dim=2, seed=0) is not None, name
+
+    def test_make_model_unknown_name_lists_variants(self, train_graph):
+        with pytest.raises(ValueError) as excinfo:
+            make_model("amacd", train_graph)
+        message = str(excinfo.value)
+        assert "amcad_e" in message and "product:<SIG>" in message
+
+    def test_size_fleet(self):
+        sim = ServingSimulator(service_seconds=0.002)
+        assert sim.size_fleet(50000, target_utilisation=0.8) == 125
+        assert sim.num_workers == 125
+        # the sized fleet actually runs at the target utilisation
+        (stat,) = sim.sweep([50000])
+        assert stat.utilisation == pytest.approx(0.8)
+        with pytest.raises(ValueError):
+            sim.size_fleet(1000, target_utilisation=0.0)
+        with pytest.raises(ValueError):
+            sim.size_fleet(-5)
+
+    def test_retrieval_serving_shim(self):
+        import repro.retrieval.serving as shim
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.reload(shim)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught), "shim import must warn"
+        from repro.serving import ServingSimulator as canonical
+        assert shim.ServingSimulator is canonical
+        for name in ("ServingSimulator", "ServingStats", "erlang_b",
+                     "erlang_c_wait"):
+            assert hasattr(shim, name), name
+
+    def test_importing_retrieval_package_does_not_warn(self):
+        import repro.retrieval
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.reload(repro.retrieval)
+        assert not any(issubclass(w.category, DeprecationWarning)
+                       for w in caught)

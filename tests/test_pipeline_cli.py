@@ -1,0 +1,100 @@
+"""The `python -m repro` CLI: run / serve / eval / models subcommands."""
+
+import json
+
+import pytest
+
+from repro.pipeline import cli
+
+
+TINY_CLI = {
+    "name": "cli-tiny",
+    "data": {
+        "days": 2, "train_days": 1, "seed": 11,
+        "simulator": {"num_queries": 120, "num_items": 180, "num_ads": 60,
+                      "num_users": 90, "tree_depth": 3, "tree_branching": 2},
+    },
+    "model": {"name": "amcad", "num_subspaces": 2, "subspace_dim": 4},
+    "training": {"steps": 8, "batch_size": 32},
+    "index": {"top_k": 8},
+    "serving": {"measure_requests": 6, "measure_repeats": 1,
+                "qps_sweep": [1000.0]},
+    "eval": {"auc_samples": 40, "ranking_ks": [5], "max_queries": 20},
+}
+
+
+@pytest.fixture(scope="module")
+def cli_artifacts(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    config_path = root / "config.json"
+    config_path.write_text(json.dumps(TINY_CLI))
+    artifact_dir = root / "artifacts"
+    code = cli.main(["run", "--config", str(config_path),
+                     "--artifacts", str(artifact_dir),
+                     "--set", "training.steps=6", "--quiet"])
+    assert code == 0
+    return artifact_dir
+
+
+def test_run_writes_artifacts(cli_artifacts, capsys):
+    names = {p.name for p in cli_artifacts.iterdir()}
+    assert {"config.json", "model.npz", "indices.npz",
+            "report.json"} <= names
+    # the --set override reached the persisted config and the run
+    config = json.loads((cli_artifacts / "config.json").read_text())
+    assert config["training"]["steps"] == 6
+    report = json.loads((cli_artifacts / "report.json").read_text())
+    train = [s for s in report["stages"] if s["name"] == "train"][0]
+    assert train["info"]["steps"] == 6
+
+
+def test_serve_explicit_queries(cli_artifacts, capsys):
+    assert cli.main(["serve", "--artifacts", str(cli_artifacts),
+                     "--queries", "3,14", "--preclicks", "10,42;",
+                     "--k", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "query 3" in out and "query 14" in out
+    assert "served 2 request(s)" in out
+
+
+def test_serve_random_requests(cli_artifacts, capsys):
+    assert cli.main(["serve", "--artifacts", str(cli_artifacts),
+                     "--requests", "4"]) == 0
+    assert "served 4 request(s)" in capsys.readouterr().out
+
+
+def test_serve_rejects_out_of_range_query(cli_artifacts):
+    with pytest.raises(SystemExit, match="out of range"):
+        cli.main(["serve", "--artifacts", str(cli_artifacts),
+                  "--queries", "100000"])
+
+
+def test_serve_rejects_out_of_range_preclicks(cli_artifacts):
+    with pytest.raises(SystemExit, match="out of range"):
+        cli.main(["serve", "--artifacts", str(cli_artifacts),
+                  "--queries", "3", "--preclicks", "99999"])
+
+
+def test_serve_rejects_preclicks_without_queries(cli_artifacts):
+    with pytest.raises(SystemExit, match="requires --queries"):
+        cli.main(["serve", "--artifacts", str(cli_artifacts),
+                  "--preclicks", "1,2"])
+
+
+def test_eval_rejects_non_eval_overrides(cli_artifacts):
+    with pytest.raises(SystemExit, match="eval.* overrides"):
+        cli.main(["eval", "--artifacts", str(cli_artifacts),
+                  "--set", "data.seed=99"])
+
+
+def test_eval_from_artifacts(cli_artifacts, capsys):
+    assert cli.main(["eval", "--artifacts", str(cli_artifacts),
+                     "--set", "eval.auc_samples=30"]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert 0.0 <= info["next_auc"] <= 100.0
+
+
+def test_models_listing(capsys):
+    assert cli.main(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "amcad" in out and "product:<SIG>" in out

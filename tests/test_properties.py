@@ -9,7 +9,7 @@ from repro.geometry import ProductManifold, UnifiedManifold
 from repro.geometry import stereographic as stereo
 from repro.geometry.fast import pairwise_dist
 from repro.graph.alias import AliasSampler
-from repro.retrieval.serving import erlang_c_wait
+from repro.serving import erlang_c_wait
 
 curvature = st.floats(min_value=-1.5, max_value=1.5, allow_nan=False)
 small_vec = st.lists(st.floats(-0.35, 0.35, allow_nan=False), min_size=2,

@@ -12,7 +12,7 @@ from repro.retrieval import (
     TwoLayerRetriever,
 )
 from repro.retrieval.mnn import RelationSpace
-from repro.retrieval.serving import ServingSimulator, erlang_c_wait
+from repro.serving import ServingSimulator, erlang_c_wait
 from repro.training import Trainer, TrainerConfig
 
 
