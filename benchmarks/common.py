@@ -1,0 +1,46 @@
+"""Shared CLI conventions for the standalone benchmark scripts.
+
+The pytest-driven benches (``pytest benchmarks/bench_*.py``) write
+their reports through :mod:`repro.bench`.  Scripts meant to be run
+directly (``python benchmarks/bench_training_throughput.py``) share
+one convention via this module:
+
+- ``--out PATH`` — where the single machine-readable JSON payload
+  lands; defaults into the repo root's ``BENCH_<name>.json`` perf
+  trajectory (committed, unlike the ``benchmarks/results/`` scratch
+  directory, which is gitignored);
+- ``--scale X`` — multiplies workload sizes, mirroring the
+  ``REPRO_BENCH_SCALE`` convention of the pytest benches (CI runs tiny
+  scales; the trajectory numbers use the default 1.0).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def bench_parser(name: str, description: str) -> argparse.ArgumentParser:
+    """Argument parser with the shared ``--out`` / ``--scale`` flags."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=REPO_ROOT / ("BENCH_%s.json" % name),
+        help="JSON result path (default: BENCH_%s.json at the repo root)"
+             % name)
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload multiplier; < 1 for smoke runs (default 1.0)")
+    return parser
+
+
+def write_json_out(path, payload) -> pathlib.Path:
+    """Write one bench's JSON payload and echo where it went."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print("wrote %s" % path)
+    return path

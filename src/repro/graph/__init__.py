@@ -19,12 +19,22 @@ data of sponsored search:
 """
 
 from repro.graph.schema import EdgeType, NodeRef, NodeType, Relation, relation_of
-from repro.graph.alias import AliasSampler
+from repro.graph.alias import AliasSampler, CSRAliasTables, build_alias_tables
 from repro.graph.category import CategoryTree
-from repro.graph.hetgraph import HetGraph
+from repro.graph.hetgraph import CategoryPools, HetGraph
 from repro.graph.builder import GraphBuilder, build_graph
-from repro.graph.metapath import MetaPath, MetaPathWalker, TABLE_III_META_PATHS
-from repro.graph.sampling import NegativeSampler, TrainingSample
+from repro.graph.metapath import (
+    MetaPath,
+    MetaPathWalker,
+    PairBlock,
+    TABLE_III_META_PATHS,
+)
+from repro.graph.sampling import (
+    NegativeSampler,
+    SampleBatch,
+    TrainingSample,
+    as_sample_batches,
+)
 
 __all__ = [
     "NodeType",
@@ -33,13 +43,19 @@ __all__ = [
     "NodeRef",
     "relation_of",
     "AliasSampler",
+    "CSRAliasTables",
+    "build_alias_tables",
     "CategoryTree",
+    "CategoryPools",
     "HetGraph",
     "GraphBuilder",
     "build_graph",
     "MetaPath",
     "MetaPathWalker",
+    "PairBlock",
     "TABLE_III_META_PATHS",
     "NegativeSampler",
+    "SampleBatch",
     "TrainingSample",
+    "as_sample_batches",
 ]

@@ -32,6 +32,7 @@ class CategoryTree:
         self.depth: List[int] = [0]
         self.children: List[List[int]] = [[]]
         self.name: List[str] = ["root"]
+        self._arrays = None  # (size, depth array, ancestor matrix) cache
 
     @classmethod
     def balanced(cls, depth: int, branching: int,
@@ -91,6 +92,47 @@ class CategoryTree:
         while self.depth[node] > depth:
             node = self.parent[node]
         return node
+
+    def _index_arrays(self):
+        """Cached ``(depth, ancestor-at-depth)`` arrays for batch queries.
+
+        ``anc[d, c]`` is the ancestor of category ``c`` at depth ``d``
+        (``-1`` when ``c`` is shallower than ``d``).  Rebuilt lazily
+        whenever the tree has grown since the last call.
+        """
+        if self._arrays is not None and self._arrays[0] == len(self.parent):
+            return self._arrays[1], self._arrays[2]
+        depth = np.asarray(self.depth, dtype=np.int64)
+        parent = np.asarray(self.parent, dtype=np.int64)
+        n = depth.size
+        anc = np.full((int(depth.max()) + 1, n), -1, dtype=np.int64)
+        anc[depth, np.arange(n)] = np.arange(n)
+        for d in range(anc.shape[0] - 1, 0, -1):
+            fill = (anc[d] >= 0) & (anc[d - 1] < 0)
+            anc[d - 1, fill] = parent[anc[d, fill]]
+        self._arrays = (n, depth, anc)
+        return depth, anc
+
+    def depth_array(self) -> np.ndarray:
+        """Depth per category id as one array (root = 0)."""
+        return self._index_arrays()[0]
+
+    def ancestor_matrix(self) -> np.ndarray:
+        """The ``(max_depth + 1, num_categories)`` ancestor-at-depth table."""
+        return self._index_arrays()[1]
+
+    def same_branch(self, a, b) -> np.ndarray:
+        """Vectorised root-path test: ``lca(a, b)`` is ``a`` or ``b``.
+
+        This is exactly the meta-path positive constraint of §IV-A-2
+        ("one category lies on the other's root path") evaluated for
+        aligned arrays of category ids without per-pair LCA walks.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        depth, anc = self._index_arrays()
+        shallower = np.minimum(depth[a], depth[b])
+        return anc[shallower, a] == anc[shallower, b]
 
     def lowest_common_ancestor(self, a: int, b: int) -> int:
         while self.depth[a] > self.depth[b]:

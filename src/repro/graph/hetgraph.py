@@ -10,14 +10,30 @@ encoder's typed neighbour aggregation (paper Eq. 5).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro.graph.alias import CSRAliasTables
 from repro.graph.category import CategoryTree
 from repro.graph.schema import EdgeType, NodeType
 
 AdjKey = Tuple[NodeType, EdgeType, NodeType]
+
+
+class CategoryPools(NamedTuple):
+    """Array view of one node type grouped by category.
+
+    ``order[start[c]:start[c] + count[c]]`` are the nodes of category
+    ``c``; ``rank[v]`` is node ``v``'s position inside its own pool.
+    The hard-negative sampler uses this to draw same-category nodes
+    (excluding the positive) with one ``rng`` call per batch.
+    """
+
+    order: np.ndarray
+    start: np.ndarray
+    count: np.ndarray
+    rank: np.ndarray
 
 
 class _CSR:
@@ -78,6 +94,8 @@ class HetGraph:
         self._adj: Dict[AdjKey, _CSR] = {}
         self._merged: Dict[Tuple[NodeType, NodeType], _CSR] = {}
         self._by_category: Dict[NodeType, Dict[int, np.ndarray]] = {}
+        self._alias: Dict[AdjKey, CSRAliasTables] = {}
+        self._pools: Dict[NodeType, CategoryPools] = {}
         for node_type, cats in self.categories.items():
             if cats.shape[0] != self.num_nodes[node_type]:
                 raise ValueError("category array for %s has %d rows, expected %d"
@@ -105,6 +123,7 @@ class HetGraph:
         if symmetric:
             self._insert(dst_type, edge_type, src_type, dst, src, weights)
         self._merged.clear()
+        self._alias.clear()
 
     def _insert(self, src_type: NodeType, edge_type: EdgeType,
                 dst_type: NodeType, src: np.ndarray, dst: np.ndarray,
@@ -221,6 +240,38 @@ class HetGraph:
             out[row] = csr.indices[lo + picks]
             mask[row] = 1.0
         return out, mask
+
+    def alias_tables(self, src_type: NodeType, edge_type: EdgeType,
+                     dst_type: NodeType) -> Optional[CSRAliasTables]:
+        """Per-row alias tables of one adjacency, built once per graph.
+
+        ``None`` when the graph has no such adjacency.  The cache is
+        invalidated by :meth:`add_edges`.
+        """
+        key = (src_type, edge_type, dst_type)
+        csr = self._adj.get(key)
+        if csr is None:
+            return None
+        tables = self._alias.get(key)
+        if tables is None:
+            tables = CSRAliasTables(csr.indptr, csr.indices, csr.weights)
+            self._alias[key] = tables
+        return tables
+
+    def category_pools(self, node_type: NodeType) -> CategoryPools:
+        """Nodes of a type grouped by category as flat arrays (cached)."""
+        pools = self._pools.get(node_type)
+        if pools is None:
+            cats = self.categories[node_type]
+            order = np.argsort(cats, kind="stable").astype(np.int64)
+            count = np.bincount(cats, minlength=len(self.category_tree)
+                                ).astype(np.int64)
+            start = (np.cumsum(count) - count).astype(np.int64)
+            rank = np.empty(cats.size, dtype=np.int64)
+            rank[order] = np.arange(cats.size) - start[cats[order]]
+            pools = CategoryPools(order, start, count, rank)
+            self._pools[node_type] = pools
+        return pools
 
     def degree(self, node_type: NodeType, dst_type: Optional[NodeType] = None
                ) -> np.ndarray:

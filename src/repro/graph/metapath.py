@@ -65,6 +65,30 @@ class PositivePair:
     relation: Relation
 
 
+@dataclasses.dataclass
+class PairBlock:
+    """Positive pairs of one relation as aligned index arrays.
+
+    The struct-of-arrays twin of a ``List[PositivePair]``: the batched
+    walker emits these, the batched negative sampler consumes them.
+    """
+
+    relation: Relation
+    src_idx: np.ndarray
+    dst_idx: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.src_idx.size)
+
+    def to_pairs(self) -> List[PositivePair]:
+        """Materialise :class:`PositivePair` objects (tests / interop)."""
+        src_type = self.relation.source_type
+        dst_type = self.relation.target_type
+        return [PositivePair(NodeRef(src_type, int(s)),
+                             NodeRef(dst_type, int(d)), self.relation)
+                for s, d in zip(self.src_idx, self.dst_idx)]
+
+
 class MetaPathWalker:
     """Samples positive pairs by meta-path guided random walk.
 
@@ -168,3 +192,112 @@ class MetaPathWalker:
             if trail is None:
                 continue
             yield from self.extract_pairs(trail)
+
+    # -- batched plane ------------------------------------------------------
+
+    def _tables_for(self, path: MetaPath):
+        """Alias tables per step of a path.
+
+        Looked up from the graph every time (an O(1) dict hit once
+        built) so ``add_edges`` invalidation reaches the walker too.
+        """
+        tables = []
+        current_type = path.start
+        for edge_type, dst_type in path.steps:
+            tables.append(self.graph.alias_tables(current_type, edge_type,
+                                                  dst_type))
+            current_type = dst_type
+        return tables
+
+    def walk_batch(self, rng: np.random.Generator, path: MetaPath,
+                   size: int, starts: Optional[np.ndarray] = None
+                   ) -> Tuple[List[np.ndarray], np.ndarray]:
+        """``size`` walks advanced one level per batched alias draw.
+
+        Returns ``(levels, alive)``: ``levels[l]`` holds the node index
+        of every walk at level ``l`` and ``alive`` marks walks that
+        completed all steps.  Dead-ended walks are discarded whole,
+        matching the looped :meth:`walk` returning ``None``.
+        """
+        if starts is None:
+            pool = self._start_pools[path.name]
+            if pool.size == 0:
+                dead = np.full(size, -1, dtype=np.int64)
+                return ([dead] * (path.length + 1),
+                        np.zeros(size, dtype=bool))
+            starts = pool[rng.integers(pool.size, size=size)]
+        else:
+            starts = np.asarray(starts, dtype=np.int64)
+        levels = [starts]
+        alive = np.ones(starts.size, dtype=bool)
+        current = starts
+        for table in self._tables_for(path):
+            if table is None:
+                nxt = np.full(current.size, -1, dtype=np.int64)
+            else:
+                nxt = table.draw(rng, np.where(current >= 0, current, 0))
+                nxt[~alive] = -1
+            alive &= nxt >= 0
+            levels.append(nxt)
+            current = nxt
+        return levels, alive
+
+    def extract_pair_blocks(self, path: MetaPath, levels: List[np.ndarray],
+                            alive: np.ndarray) -> List[PairBlock]:
+        """Vectorised :meth:`extract_pairs` over a batch of walks."""
+        blocks: List[PairBlock] = []
+        if not alive.any():
+            return blocks
+        anchors = levels[0]
+        tree = self.graph.category_tree
+        anchor_cats = None
+        for level, (_edge, dst_type) in zip(levels[1:], path.steps):
+            try:
+                relation = relation_of(path.start, dst_type)
+            except (KeyError, ValueError):
+                continue
+            keep = alive.copy()
+            if dst_type == path.start:
+                keep &= level != anchors
+            kept = np.flatnonzero(keep)
+            if kept.size == 0:
+                continue
+            if self.enforce_category:
+                if anchor_cats is None:
+                    anchor_cats = self.graph.categories[path.start][
+                        np.where(alive, anchors, 0)]
+                target_cats = self.graph.categories[dst_type][level[kept]]
+                kept = kept[tree.same_branch(anchor_cats[kept], target_cats)]
+                if kept.size == 0:
+                    continue
+            blocks.append(PairBlock(relation, anchors[kept].copy(),
+                                    level[kept].copy()))
+        return blocks
+
+    def sample_pair_blocks(self, rng: np.random.Generator,
+                           num_walks: int) -> List[PairBlock]:
+        """Batched :meth:`sample_pairs`: walks split across meta-paths.
+
+        Each path gets the same share it would get from the looped
+        cycling order, but all its walks advance together — one alias
+        draw and one dead-end mask per level instead of one
+        ``rng.choice`` per node.
+        """
+        num_paths = len(self.meta_paths)
+        blocks: List[PairBlock] = []
+        for i, path in enumerate(self.meta_paths):
+            share = num_walks // num_paths + (1 if i < num_walks % num_paths
+                                              else 0)
+            if share == 0:
+                continue
+            levels, alive = self.walk_batch(rng, path, share)
+            blocks.extend(self.extract_pair_blocks(path, levels, alive))
+        return blocks
+
+    def sample_pairs_batched(self, rng: np.random.Generator,
+                             num_walks: int) -> List[PositivePair]:
+        """:meth:`sample_pairs` through the batched plane (parity helper)."""
+        pairs: List[PositivePair] = []
+        for block in self.sample_pair_blocks(rng, num_walks):
+            pairs.extend(block.to_pairs())
+        return pairs

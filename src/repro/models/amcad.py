@@ -20,7 +20,7 @@ benchmark harness.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from repro.geometry.manifold import UnifiedManifold
 from repro.geometry.product import ProductManifold
 from repro.geometry.stereographic import fermi_dirac
 from repro.graph.hetgraph import HetGraph
-from repro.graph.sampling import TrainingSample
+from repro.graph.sampling import SampleBatch, TrainingSample, as_sample_batches
 from repro.graph.schema import NodeType, Relation
 from repro.models.encoder import NodeEncoder
 from repro.models.scorer import EdgeScorer
@@ -174,25 +174,26 @@ class AMCAD:
 
     # -- loss --------------------------------------------------------------------
 
-    def loss(self, samples: Sequence[TrainingSample],
+    def loss(self, samples: Union[SampleBatch, Sequence[TrainingSample]],
              rng: Optional[np.random.Generator] = None) -> Tensor:
         """Triplet loss over a batch (paper Eq. 15 + Eq. 16 regulariser).
 
-        Samples are grouped per relation; within a group, encodings of
-        the source, positive and the K negatives are batched.
+        Accepts a :class:`SampleBatch` from the array-native sampling
+        plane directly, or a sequence of :class:`TrainingSample` from
+        the looped reference path (grouped per relation as before);
+        within a group, encodings of the source, positive and the K
+        negatives are batched.
         """
         rng = rng or self.rng
         cfg = self.config
         total = None
         count = 0
-        by_relation: Dict[Relation, List[TrainingSample]] = {}
-        for sample in samples:
-            by_relation.setdefault(sample.relation, []).append(sample)
 
-        for relation, group in by_relation.items():
-            src_idx = np.array([s.source.index for s in group])
-            pos_idx = np.array([s.positive.index for s in group])
-            neg_idx = np.array([[n.index for n in s.negatives] for s in group])
+        for group in as_sample_batches(samples):
+            relation = group.relation
+            src_idx = group.src_idx
+            pos_idx = group.pos_idx
+            neg_idx = group.neg_idx
             batch, k = neg_idx.shape
 
             src_points = self.encode(relation.source_type, src_idx, rng)

@@ -4,14 +4,23 @@ All generators speak *global* node ids: the heterogeneous graph is
 flattened into one id space (queries, then items, then ads) because
 DeepWalk/LINE/Node2Vec are homogeneous models — precisely the
 limitation the paper calls out when explaining why AMCAD_E beats them.
+
+The walkers run on the same batched alias machinery as the meta-path
+training plane (:class:`~repro.graph.alias.CSRAliasTables`): every
+active walk advances one level per vectorised draw, and window pairs
+fall out of array shifts.  Node2vec's second-order bias is applied by
+rejection — propose a first-order step, accept with ``bias/max_bias``
+— so the biased walk stays batched without materialising per-edge
+alias tables.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 import numpy as np
 
+from repro.graph.alias import AliasSampler, CSRAliasTables
 from repro.graph.hetgraph import HetGraph
 from repro.graph.metapath import MetaPathWalker
 from repro.graph.schema import NodeType
@@ -33,7 +42,12 @@ class GlobalIdSpace:
 
 
 def _flat_adjacency(graph: HetGraph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """CSR over global ids merging every edge type/direction."""
+    """CSR over global ids merging every edge type/direction.
+
+    Neighbour lists are sorted within each row so membership tests
+    (node2vec's "is the candidate a neighbour of the previous node")
+    reduce to one searchsorted over ``row * N + neighbour`` keys.
+    """
     ids = GlobalIdSpace(graph)
     srcs, dsts, weights = [], [], []
     for (s_type, _edge, d_type), csr in graph._adj.items():
@@ -45,7 +59,7 @@ def _flat_adjacency(graph: HetGraph) -> Tuple[np.ndarray, np.ndarray, np.ndarray
     src = np.concatenate(srcs)
     dst = np.concatenate(dsts)
     weight = np.concatenate(weights)
-    order = np.argsort(src, kind="stable")
+    order = np.lexsort((dst, src))
     src, dst, weight = src[order], dst[order], weight[order]
     counts = np.bincount(src, minlength=ids.total)
     indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
@@ -53,7 +67,15 @@ def _flat_adjacency(graph: HetGraph) -> Tuple[np.ndarray, np.ndarray, np.ndarray
 
 
 class DeepWalkGenerator:
-    """Uniform truncated random walks + window co-occurrence pairs."""
+    """Uniform truncated random walks + window co-occurrence pairs.
+
+    Walks advance in blocks of :attr:`BLOCK_WALKS`: each level is one
+    batched draw from per-row alias tables (uniform weights — DeepWalk
+    ignores edge weights), and window pairs are extracted with array
+    shifts over the trail matrix.
+    """
+
+    BLOCK_WALKS = 128
 
     def __init__(self, graph: HetGraph, walk_length: int = 8, window: int = 3,
                  seed: int = 0):
@@ -63,75 +85,121 @@ class DeepWalkGenerator:
         self.window = int(window)
         self.rng = np.random.default_rng(seed)
         self._starts = np.flatnonzero(np.diff(self.indptr) > 0)
+        self._tables = CSRAliasTables(self.indptr, self.indices,
+                                      np.ones(self.indices.size))
 
     def _neighbors(self, node: int) -> np.ndarray:
         return self.indices[self.indptr[node]:self.indptr[node + 1]]
 
-    def _walk(self, start: int) -> List[int]:
-        trail = [start]
-        current = start
-        for _ in range(self.walk_length - 1):
-            neigh = self._neighbors(current)
-            if neigh.size == 0:
+    def _step_block(self, trails: np.ndarray, step: int,
+                    current: np.ndarray) -> np.ndarray:
+        """Next node per active walk (``-1`` dead-ends a walk)."""
+        return self._tables.draw(self.rng, current)
+
+    def _walk_block(self, size: int) -> np.ndarray:
+        """``(size, walk_length)`` trails, ``-1``-padded after dead ends."""
+        trails = np.full((size, self.walk_length), -1, dtype=np.int64)
+        current = self._starts[self.rng.integers(self._starts.size, size=size)]
+        trails[:, 0] = current
+        alive = np.ones(size, dtype=bool)
+        for step in range(1, self.walk_length):
+            nxt = self._step_block(trails, step, current)
+            alive &= nxt >= 0
+            if not alive.any():
                 break
-            current = int(neigh[self.rng.integers(neigh.size)])
-            trail.append(current)
-        return trail
+            trails[alive, step] = nxt[alive]
+            current = np.where(alive, nxt, current)
+        return trails
+
+    def _window_pairs(self, trails: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """All (center, context) pairs within the window, both directions."""
+        centers, contexts = [], []
+        for offset in range(1, self.window + 1):
+            if offset >= trails.shape[1]:
+                break
+            left = trails[:, :-offset].ravel()
+            right = trails[:, offset:].ravel()
+            valid = (left >= 0) & (right >= 0)
+            centers.append(left[valid])
+            contexts.append(right[valid])
+            centers.append(right[valid])
+            contexts.append(left[valid])
+        if not centers:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(centers), np.concatenate(contexts)
 
     def pairs(self, num_pairs: int) -> Iterator[Tuple[int, int]]:
         produced = 0
         while produced < num_pairs:
-            start = int(self._starts[self.rng.integers(self._starts.size)])
-            trail = self._walk(start)
-            for i, center in enumerate(trail):
-                lo = max(0, i - self.window)
-                hi = min(len(trail), i + self.window + 1)
-                for j in range(lo, hi):
-                    if j == i:
-                        continue
-                    yield (center, trail[j])
-                    produced += 1
-                    if produced >= num_pairs:
-                        return
+            trails = self._walk_block(self.BLOCK_WALKS)
+            centers, contexts = self._window_pairs(trails)
+            for center, context in zip(centers.tolist(), contexts.tolist()):
+                yield (center, context)
+                produced += 1
+                if produced >= num_pairs:
+                    return
 
 
 class Node2VecGenerator(DeepWalkGenerator):
-    """Second-order biased walks (return parameter p, in-out parameter q)."""
+    """Second-order biased walks (return parameter p, in-out parameter q).
+
+    The bias over a candidate ``c`` from current ``v`` given previous
+    ``u`` is ``1/p`` (``c == u``), ``1`` (``c ∈ N(u)``) or ``1/q``.
+    Rather than normalising it per step, each walk proposes a
+    first-order step through the shared alias tables and accepts with
+    probability ``bias / max_bias`` — the accepted marginal equals the
+    normalised bias exactly, and rejected walks simply redraw in the
+    next vectorised round.
+    """
+
+    MAX_REJECTION_ROUNDS = 64
 
     def __init__(self, graph: HetGraph, walk_length: int = 8, window: int = 3,
                  p: float = 1.0, q: float = 0.5, seed: int = 0):
         super().__init__(graph, walk_length, window, seed)
+        if p <= 0 or q <= 0:
+            raise ValueError("node2vec p and q must be positive")
         self.p = float(p)
         self.q = float(q)
-        self._neighbor_sets: Dict[int, frozenset] = {}
+        rows = np.repeat(np.arange(self.ids.total), np.diff(self.indptr))
+        # rows are sorted and neighbours sorted within rows, so these
+        # keys are globally sorted — one searchsorted tests membership
+        self._edge_keys = rows * self.ids.total + self.indices
 
-    def _neighbor_set(self, node: int) -> frozenset:
-        cached = self._neighbor_sets.get(node)
-        if cached is None:
-            cached = frozenset(self._neighbors(node).tolist())
-            self._neighbor_sets[node] = cached
-        return cached
+    def _has_edge(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        if self._edge_keys.size == 0:
+            return np.zeros(src.shape, dtype=bool)
+        keys = src * self.ids.total + dst
+        pos = np.minimum(np.searchsorted(self._edge_keys, keys),
+                         self._edge_keys.size - 1)
+        return self._edge_keys[pos] == keys
 
-    def _walk(self, start: int) -> List[int]:
-        trail = [start]
-        previous: Optional[int] = None
-        current = start
-        for _ in range(self.walk_length - 1):
-            neigh = self._neighbors(current)
-            if neigh.size == 0:
+    def _step_block(self, trails: np.ndarray, step: int,
+                    current: np.ndarray) -> np.ndarray:
+        proposal = self._tables.draw(self.rng, current)
+        if step < 2:
+            return proposal
+        previous = trails[:, step - 2]
+        inv_p, inv_q = 1.0 / self.p, 1.0 / self.q
+        max_bias = max(inv_p, 1.0, inv_q)
+        accepted = proposal.copy()
+        pending = (accepted >= 0) & (previous >= 0)
+        for _ in range(self.MAX_REJECTION_ROUNDS):
+            idx = np.flatnonzero(pending)
+            if idx.size == 0:
                 break
-            if previous is None:
-                nxt = int(neigh[self.rng.integers(neigh.size)])
-            else:
-                prev_neigh = self._neighbor_set(previous)
-                bias = np.where(neigh == previous, 1.0 / self.p,
-                                np.where([n in prev_neigh for n in neigh],
-                                         1.0, 1.0 / self.q))
-                bias = bias / bias.sum()
-                nxt = int(self.rng.choice(neigh, p=bias))
-            trail.append(nxt)
-            previous, current = current, nxt
-        return trail
+            candidate = accepted[idx]
+            bias = np.where(candidate == previous[idx], inv_p,
+                            np.where(self._has_edge(previous[idx], candidate),
+                                     1.0, inv_q))
+            keep = self.rng.random(idx.size) * max_bias < bias
+            pending[idx[keep]] = False
+            redo = idx[~keep]
+            if redo.size:
+                accepted[redo] = self._tables.draw(self.rng, current[redo])
+        return accepted
 
 
 class LineEdgeGenerator:
@@ -143,18 +211,24 @@ class LineEdgeGenerator:
         src = np.repeat(np.arange(self.ids.total), np.diff(indptr))
         self.src = src
         self.dst = indices
-        probs = weights / weights.sum()
-        self._probs = probs
+        self._sampler = AliasSampler(weights)
         self.rng = np.random.default_rng(seed)
 
     def pairs(self, num_pairs: int) -> Iterator[Tuple[int, int]]:
-        picks = self.rng.choice(self.src.size, size=num_pairs, p=self._probs)
+        picks = self._sampler.sample(self.rng, size=num_pairs)
         for edge in picks:
             yield (int(self.src[edge]), int(self.dst[edge]))
 
 
 class MetapathPairGenerator:
-    """Positive pairs from the Table III meta-path walker (Metapath2Vec)."""
+    """Positive pairs from the Table III meta-path walker (Metapath2Vec).
+
+    Runs on the walker's batched plane: blocks of walks advance with
+    vectorised alias draws and the typed pairs are mapped into the
+    global id space array-wise.
+    """
+
+    BLOCK_WALKS = 120
 
     def __init__(self, graph: HetGraph, seed: int = 0):
         self.ids = GlobalIdSpace(graph)
@@ -163,12 +237,15 @@ class MetapathPairGenerator:
 
     def pairs(self, num_pairs: int) -> Iterator[Tuple[int, int]]:
         produced = 0
-        for pair in self.walker.iter_pairs(self.rng):
-            src = int(self.ids.to_global(pair.source.node_type,
-                                         pair.source.index))
-            dst = int(self.ids.to_global(pair.target.node_type,
-                                         pair.target.index))
-            yield (src, dst)
-            produced += 1
-            if produced >= num_pairs:
-                return
+        while produced < num_pairs:
+            blocks = self.walker.sample_pair_blocks(self.rng, self.BLOCK_WALKS)
+            for block in blocks:
+                src = self.ids.to_global(block.relation.source_type,
+                                         block.src_idx)
+                dst = self.ids.to_global(block.relation.target_type,
+                                         block.dst_idx)
+                for s, d in zip(src.tolist(), dst.tolist()):
+                    yield (s, d)
+                    produced += 1
+                    if produced >= num_pairs:
+                        return

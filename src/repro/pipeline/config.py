@@ -23,7 +23,7 @@ from repro.data.synthetic import SimulatorConfig
 from repro.graph.schema import Relation
 from repro.models.amcad import AMCADConfig, list_models
 from repro.retrieval.backend import BACKENDS
-from repro.training.trainer import TrainerConfig
+from repro.training.trainer import DATA_PLANES, TrainerConfig
 
 
 def _known_fields(cls) -> List[str]:
@@ -134,6 +134,9 @@ class TrainingConfig:
     warmup_steps: int = 10
     clip_norm: float = 5.0
     seed: int = 0
+    #: sampling implementation: ``"batched"`` (array-native meta-path
+    #: walks + negative draws) or ``"looped"`` (per-pair reference)
+    data_plane: str = "batched"
 
     def __post_init__(self):
         if self.steps < 1:
@@ -142,6 +145,9 @@ class TrainingConfig:
             raise ValueError("training.batch_size must be >= 1")
         if self.learning_rate <= 0:
             raise ValueError("training.learning_rate must be > 0")
+        if self.data_plane not in DATA_PLANES:
+            raise ValueError("training.data_plane must be one of %s, got %r"
+                             % (", ".join(DATA_PLANES), self.data_plane))
 
     def trainer_config(self) -> TrainerConfig:
         return TrainerConfig(**dataclasses.asdict(self))

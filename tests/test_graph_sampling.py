@@ -24,6 +24,18 @@ class TestNegativeSampler:
         with pytest.raises(ValueError):
             NegativeSampler(train_graph, num_negatives=0)
 
+    def test_rejects_easy_ratio_out_of_range(self, train_graph):
+        with pytest.raises(ValueError, match="easy_ratio"):
+            NegativeSampler(train_graph, easy_ratio=1.5)
+        with pytest.raises(ValueError, match="easy_ratio"):
+            NegativeSampler(train_graph, easy_ratio=-0.1)
+
+    def test_rejects_non_finite_degree_smoothing(self, train_graph):
+        with pytest.raises(ValueError, match="degree_smoothing"):
+            NegativeSampler(train_graph, degree_smoothing=float("nan"))
+        with pytest.raises(ValueError, match="degree_smoothing"):
+            NegativeSampler(train_graph, degree_smoothing=float("inf"))
+
     def test_sample_count_and_type(self, sampler, pairs, rng):
         for pair in pairs[:30]:
             sample = sampler.sample(rng, pair)

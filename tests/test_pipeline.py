@@ -101,6 +101,14 @@ class TestConfig:
         with pytest.raises(ValueError, match="train_days"):
             PipelineConfig.from_dict({"data": {"days": 2, "train_days": 3}})
 
+    def test_data_plane_validated_and_forwarded(self):
+        with pytest.raises(ValueError, match="data_plane"):
+            PipelineConfig.from_dict({"training": {"data_plane": "async"}})
+        config = PipelineConfig.from_dict(
+            {"training": {"data_plane": "looped"}})
+        assert config.training.trainer_config().data_plane == "looped"
+        assert PipelineConfig().training.data_plane == "batched"
+
     def test_unknown_relation_rejected(self):
         with pytest.raises(ValueError, match="relation"):
             PipelineConfig.from_dict({"index": {"relations": ["q2x"]}})
