@@ -1,0 +1,177 @@
+"""Encoder compute-plane throughput: recursive reference vs frontier.
+
+PR 3 left the autodiff forward/backward as the training hot path: at
+``gcn_layers=L`` the recursive context encoder re-encodes every sampled
+neighbour from scratch — ``(k·|types|)^L`` encoder evaluations per node
+with massive overlap — while the frontier plane dedups the receptive
+field per level and encodes each unique node once (paper §IV-C's
+two-level-parallelism idea applied to training).  This bench quantifies
+the gap stage by stage:
+
+- **nodes/sec encode** — repeated ``model.encode`` over query batches,
+  both planes, ``gcn_layers=2``;
+- **tape nodes** — ``Tensor.graph_size()`` of one batch loss per plane
+  (the fused geometry kernels shrink both; the dedup shrinks frontier
+  further);
+- **steps/sec train** — end-to-end ``Trainer.train`` on the same
+  config per plane.
+
+Run directly (``PYTHONPATH=src python
+benchmarks/bench_encode_throughput.py [--scale X] [--out PATH]``);
+results land in ``BENCH_encode_throughput.json`` at the repo root.  At
+the default scale the frontier plane must clear 3x encode throughput
+over the recursive reference.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from common import bench_parser, write_json_out  # noqa: E402
+
+from repro.data import SimulatorConfig, SponsoredSearchSimulator
+from repro.graph import MetaPathWalker, NegativeSampler, build_graph
+from repro.graph.schema import NodeType
+from repro.models import make_model
+from repro.training import Trainer, TrainerConfig
+
+GCN_LAYERS = 2
+BATCH_SIZE = 64
+ENCODE_ROUNDS = 8
+TRAIN_STEPS = 20
+
+
+def _build_model(graph, plane):
+    return make_model("amcad", graph, num_subspaces=2, subspace_dim=4,
+                      seed=1, gcn_layers=GCN_LAYERS, compute_plane=plane)
+
+
+def _measure_encode(graph, rounds):
+    out = {}
+    n_queries = graph.num_nodes[NodeType.QUERY]
+    for plane in ("recursive", "frontier"):
+        model = _build_model(graph, plane)
+        rng = np.random.default_rng(0)
+        batches = [rng.integers(0, n_queries, size=BATCH_SIZE)
+                   for _ in range(rounds)]
+        start = time.perf_counter()
+        for indices in batches:
+            model.encode(NodeType.QUERY, indices, rng)
+        seconds = time.perf_counter() - start
+        nodes = rounds * BATCH_SIZE
+        out[plane] = {
+            "rounds": rounds,
+            "batch_size": BATCH_SIZE,
+            "seconds": seconds,
+            "nodes_per_sec": nodes / seconds,
+        }
+    out["speedup"] = (out["frontier"]["nodes_per_sec"]
+                      / out["recursive"]["nodes_per_sec"])
+    return out
+
+
+def _measure_tape(graph):
+    """Tape-node counts of one batch loss, same draws via a shared plan."""
+    walker = MetaPathWalker(graph)
+    sampler = NegativeSampler(graph)
+    blocks = walker.sample_pair_blocks(np.random.default_rng(1), 400)
+    block = max(blocks, key=len)
+    batch = sampler.sample_arrays(np.random.default_rng(2), block.relation,
+                                  block.src_idx[:BATCH_SIZE],
+                                  block.dst_idx[:BATCH_SIZE])
+    out = {"relation": batch.relation.value, "batch": len(batch)}
+    reference = _build_model(graph, "frontier")
+    per_type = {batch.relation.source_type: [batch.src_idx]}
+    per_type.setdefault(batch.relation.target_type, []).extend(
+        [batch.pos_idx, batch.neg_idx.ravel()])
+    plans = {t: reference.encoder.build_plan(
+        t, np.unique(np.concatenate(parts)), np.random.default_rng(7))
+        for t, parts in per_type.items()}
+    for plane in ("recursive", "frontier"):
+        model = _build_model(graph, plane)
+        loss = model.loss(batch, rng=np.random.default_rng(9), plans=plans)
+        out[plane] = {"tape_nodes": loss.graph_size(),
+                      "loss": loss.item()}
+    out["tape_shrink"] = (out["recursive"]["tape_nodes"]
+                          / out["frontier"]["tape_nodes"])
+    return out
+
+
+def _measure_training(graph, steps):
+    out = {}
+    for plane in ("recursive", "frontier"):
+        model = _build_model(graph, plane)
+        config = TrainerConfig(steps=steps, batch_size=BATCH_SIZE, seed=1)
+        report = Trainer(model, config).train()
+        out[plane] = {
+            "steps": report.steps,
+            "wall_seconds": report.wall_seconds,
+            "steps_per_sec": report.steps / report.wall_seconds,
+            "final_loss": report.final_loss,
+            "mean_tail_loss": report.mean_tail_loss,
+        }
+    out["speedup"] = (out["recursive"]["wall_seconds"]
+                      / out["frontier"]["wall_seconds"])
+    return out
+
+
+def main(argv=None) -> int:
+    parser = bench_parser(
+        "encode_throughput",
+        "Recursive vs frontier encoder compute-plane throughput")
+    args = parser.parse_args(argv)
+
+    simulator = SponsoredSearchSimulator(SimulatorConfig(seed=3))
+    graph = build_graph(simulator.universe, simulator.simulate_days(1))
+
+    rounds = max(2, int(ENCODE_ROUNDS * args.scale))
+    steps = max(3, int(TRAIN_STEPS * args.scale))
+
+    encode_info = _measure_encode(graph, rounds)
+    tape_info = _measure_tape(graph)
+    training_info = _measure_training(graph, steps)
+
+    payload = {
+        "scale": args.scale,
+        "gcn_layers": GCN_LAYERS,
+        "graph": graph.stats(),
+        "encode": encode_info,
+        "tape": tape_info,
+        "training": training_info,
+    }
+    write_json_out(args.out, payload)
+
+    print("encode nodes/s recursive %8.0f   frontier %8.0f   (%.1fx)"
+          % (encode_info["recursive"]["nodes_per_sec"],
+             encode_info["frontier"]["nodes_per_sec"],
+             encode_info["speedup"]))
+    print("tape nodes     recursive %8d   frontier %8d   (%.1fx smaller)"
+          % (tape_info["recursive"]["tape_nodes"],
+             tape_info["frontier"]["tape_nodes"], tape_info["tape_shrink"]))
+    print("train steps/s  recursive %8.2f   frontier %8.2f   (%.2fx)"
+          % (training_info["recursive"]["steps_per_sec"],
+             training_info["frontier"]["steps_per_sec"],
+             training_info["speedup"]))
+
+    if args.scale >= 1.0:
+        if encode_info["speedup"] < 3.0:
+            print("FAIL: frontier encode below 3x the recursive reference "
+                  "(%.1fx)" % encode_info["speedup"])
+            return 1
+        if tape_info["frontier"]["tape_nodes"] >= \
+                tape_info["recursive"]["tape_nodes"]:
+            print("FAIL: frontier tape is not smaller than recursive")
+            return 1
+        if training_info["speedup"] <= 1.0:
+            print("FAIL: frontier plane did not improve end-to-end "
+                  "training wall-clock (%.2fx)" % training_info["speedup"])
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

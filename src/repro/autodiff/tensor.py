@@ -118,6 +118,26 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
+    def graph_size(self) -> int:
+        """Number of distinct tensors reachable through the tape.
+
+        Counts this tensor plus every ancestor linked by a recorded
+        backward closure — i.e. the number of tape nodes ``backward``
+        would visit.  A pure debugging/benchmark helper: the frontier
+        encode plane exists precisely to keep this number small, and
+        the encoder-plane tests assert it shrinks versus the recursive
+        reference.
+        """
+        seen: set[int] = {id(self)}
+        stack: list[Tensor] = [self]
+        while stack:
+            node = stack.pop()
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    seen.add(id(parent))
+                    stack.append(parent)
+        return len(seen)
+
     def backward(self, grad=None) -> None:
         """Run reverse-mode differentiation from this tensor.
 

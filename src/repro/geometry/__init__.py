@@ -19,6 +19,7 @@ from repro.geometry.stereographic import (
     project,
     tan_k,
 )
+from repro.geometry.fast import fused_dist, fused_expmap0, fused_logmap0
 from repro.geometry.manifold import (
     Euclidean,
     Hyperbolic,
@@ -37,6 +38,9 @@ __all__ = [
     "dist_k",
     "project",
     "conformal_factor",
+    "fused_expmap0",
+    "fused_logmap0",
+    "fused_dist",
     "UnifiedManifold",
     "Euclidean",
     "Hyperbolic",

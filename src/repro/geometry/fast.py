@@ -1,22 +1,48 @@
-"""Pure-numpy inference kernels for mixed-curvature distances.
+"""Fused kernels for mixed-curvature geometry — inference *and* training.
 
-The MNN index builder (paper §IV-C-1) computes distances from every
-key node to every candidate node — far too many pairs to route through
-the autodiff tape.  These kernels evaluate the κ-stereographic geodesic
-distance between row sets ``X (B,d)`` and ``Y (N,d)`` without ever
-materialising the ``(B,N,d)`` Möbius-sum tensor: the norm of
-``-x ⊕κ y`` expands into inner products, so only ``(B,N)`` scalars are
-formed.  This is the vectorised (SIMD-style) half of the paper's
-two-level parallelism; the data-parallel half lives in
-:mod:`repro.retrieval.mnn`.
+Two families live here:
+
+1. **Pure-numpy inference kernels.**  The MNN index builder (paper
+   §IV-C-1) computes distances from every key node to every candidate
+   node — far too many pairs to route through the autodiff tape.  These
+   kernels evaluate the κ-stereographic geodesic distance between row
+   sets ``X (B,d)`` and ``Y (N,d)`` without ever materialising the
+   ``(B,N,d)`` Möbius-sum tensor: the norm of ``-x ⊕κ y`` expands into
+   inner products, so only ``(B,N)`` scalars are formed.  This is the
+   vectorised (SIMD-style) half of the paper's two-level parallelism;
+   the data-parallel half lives in :mod:`repro.retrieval.mnn`.
+
+2. **Fused differentiable kernels** (:func:`fused_expmap0`,
+   :func:`fused_logmap0`, :func:`fused_dist`).  The training-side
+   counterpart of the same idea: each evaluates a whole Table II
+   operation chain (norm → curvature trig → scaling, or Möbius-add →
+   norm → ``tan⁻¹_κ``) as **one tape node** with a hand-derived
+   vector-Jacobian backward, instead of the ~10 micro-ops the composed
+   :mod:`repro.geometry.stereographic` versions record.  Forward values
+   and gradients — including the gradient with respect to a trainable
+   κ, and every numerical guard (norm ε, clip masks, arctanh/denominator
+   clamps) — replicate the composed chain exactly, which the
+   encoder-plane tests verify term by term.  The composed micro-op
+   versions remain in :mod:`repro.geometry.stereographic` as the
+   reference implementation.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-_KAPPA_ZERO_TOL = 1e-5
-_ARTANH_ARG_MAX = 1.0 - 1e-7
+from repro.autodiff.ops import _unbroadcast
+from repro.autodiff.tensor import Tensor, ensure_tensor
+
+# The clamp/ε constants are shared with the composed reference: the fused
+# backward closures replicate its gradients only while they stay identical.
+from repro.geometry.stereographic import (
+    _ARTANH_ARG_MAX,
+    _EPS,
+    _KAPPA_ZERO_TOL,
+    _TAN_ARG_MAX,
+    _TANH_ARG_MAX,
+)
 
 
 def artan_k_numpy(x: np.ndarray, kappa: float) -> np.ndarray:
@@ -68,6 +94,162 @@ def pairwise_mobius_norm(x: np.ndarray, y: np.ndarray,
 def pairwise_dist(x: np.ndarray, y: np.ndarray, kappa: float) -> np.ndarray:
     """Geodesic distance matrix ``d_κ(x_i, y_j)``, shape ``(B, N)``."""
     return 2.0 * artan_k_numpy(pairwise_mobius_norm(x, y, kappa), kappa)
+
+
+# -- fused differentiable kernels -----------------------------------------
+#
+# Conventions shared by the value-and-derivative helpers below: ``r`` is a
+# strictly positive norm of shape ``(..., 1)``; each helper returns
+# ``(f, df_dr, df_dkappa)`` where the derivatives replicate what the
+# composed autodiff chain in :mod:`repro.geometry.stereographic` would
+# accumulate (same ε constants, same clip masks, same ``max`` clamps).
+
+
+def _tan_k_vjp(r: np.ndarray, kappa: float):
+    """``tan_κ(r)`` with ∂/∂r and ∂/∂κ, mirroring ``stereographic.tan_k``."""
+    if kappa < -_KAPPA_ZERO_TOL:
+        s = np.sqrt(-kappa + _EPS)
+        u = r * s
+        inside = (u >= -_TANH_ARG_MAX) & (u <= _TANH_ARG_MAX)
+        th = np.tanh(np.clip(u, -_TANH_ARG_MAX, _TANH_ARG_MAX))
+        f = th / s
+        sech2 = (1.0 - th * th) * inside
+        df_dr = sech2
+        # d scale / dκ through abs+sqrt: sign(κ) · 0.5 / s
+        ds_dk = -0.5 / s
+        df_ds = (sech2 * r * s - th) / (s * s)
+        return f, df_dr, df_ds * ds_dk
+    if kappa > _KAPPA_ZERO_TOL:
+        s = np.sqrt(kappa + _EPS)
+        u = r * s
+        inside = (u >= -_TAN_ARG_MAX) & (u <= _TAN_ARG_MAX)
+        tn = np.tan(np.clip(u, -_TAN_ARG_MAX, _TAN_ARG_MAX))
+        f = tn / s
+        sec2 = (1.0 + tn * tn) * inside
+        df_dr = sec2
+        ds_dk = 0.5 / s
+        df_ds = (sec2 * r * s - tn) / (s * s)
+        return f, df_dr, df_ds * ds_dk
+    # Taylor branch: r + κ·r³/3 (shared third-order expansion)
+    return (r + kappa * r ** 3 / 3.0,
+            1.0 + kappa * r * r,
+            r ** 3 / 3.0)
+
+
+def _artan_k_vjp(r: np.ndarray, kappa: float):
+    """``tan⁻¹_κ(r)`` with ∂/∂r and ∂/∂κ, mirroring ``stereographic.artan_k``."""
+    if kappa < -_KAPPA_ZERO_TOL:
+        s = np.sqrt(-kappa + _EPS)
+        u = r * s
+        inside = (u >= -_ARTANH_ARG_MAX) & (u <= _ARTANH_ARG_MAX)
+        c = np.clip(u, -_ARTANH_ARG_MAX, _ARTANH_ARG_MAX)
+        at = np.arctanh(c)
+        # ops.arctanh guards 1-c² with the same clamp
+        dat_dc = 1.0 / np.maximum(1.0 - c * c, _EPS)
+        f = at / s
+        df_dr = dat_dc * inside
+        ds_dk = -0.5 / s
+        df_ds = (dat_dc * inside * r * s - at) / (s * s)
+        return f, df_dr, df_ds * ds_dk
+    if kappa > _KAPPA_ZERO_TOL:
+        s = np.sqrt(kappa + _EPS)
+        u = r * s
+        at = np.arctan(u)
+        dat_du = 1.0 / (1.0 + u * u)
+        f = at / s
+        df_dr = dat_du
+        ds_dk = 0.5 / s
+        df_ds = (dat_du * r * s - at) / (s * s)
+        return f, df_dr, df_ds * ds_dk
+    return (r - kappa * r ** 3 / 3.0,
+            1.0 - kappa * r * r,
+            -(r ** 3) / 3.0)
+
+
+def _radial_map(v, kappa, vjp) -> Tensor:
+    """Shared fused body of ``expmap0``/``logmap0``: ``f(‖v‖)·v/‖v‖``.
+
+    One tape node replacing the composed chain norm → trig → rescale
+    (sum, sqrt, clip, tanh/arctanh, two divisions, a multiply — each a
+    node of its own in the micro-op version).
+    """
+    v = ensure_tensor(v)
+    kappa = ensure_tensor(kappa)
+    kval = float(kappa.data)
+    data = v.data
+    r = np.sqrt(np.sum(data * data, axis=-1, keepdims=True) + _EPS)
+    f, df_dr, df_dk = vjp(r, kval)
+    out_data = data * (f / r)
+
+    def backward(grad):
+        gv_inner = np.sum(grad * data, axis=-1, keepdims=True)
+        grad_v = grad * (f / r) + data * gv_inner * (df_dr * r - f) / r ** 3
+        grad_k = np.sum(gv_inner / r * df_dk)
+        return (grad_v, np.asarray(grad_k).reshape(kappa.shape))
+
+    return Tensor._make(out_data, (v, kappa), backward)
+
+
+def fused_expmap0(v, kappa) -> Tensor:
+    """Fused ``exp^κ_0(v) = tan_κ(‖v‖)·v/‖v‖`` as a single tape node."""
+    return _radial_map(v, kappa, _tan_k_vjp)
+
+
+def fused_logmap0(x, kappa) -> Tensor:
+    """Fused ``log^κ_0(x) = tan⁻¹_κ(‖x‖)·x/‖x‖`` as a single tape node."""
+    return _radial_map(x, kappa, _artan_k_vjp)
+
+
+def fused_dist(x, y, kappa) -> Tensor:
+    """Fused geodesic distance ``d_κ(x,y) = 2·tan⁻¹_κ(‖-x ⊕κ y‖)``.
+
+    Collapses the Möbius-addition / norm / ``tan⁻¹_κ`` chain — about a
+    dozen tape nodes in the composed version — into one node with a
+    hand-derived backward for ``x``, ``y`` *and* the (possibly
+    trainable) curvature.  Output keeps the reduced feature axis as
+    size 1, matching ``stereographic.dist_k``.
+    """
+    x = ensure_tensor(x)
+    y = ensure_tensor(y)
+    kappa = ensure_tensor(kappa)
+    kval = float(kappa.data)
+    a, b = np.broadcast_arrays(-x.data, y.data)
+    p = np.sum(a * b, axis=-1, keepdims=True)
+    alpha = np.sum(a * a, axis=-1, keepdims=True)
+    beta = np.sum(b * b, axis=-1, keepdims=True)
+    coeff_a = 1.0 - 2.0 * kval * p - kval * beta
+    coeff_b = 1.0 + kval * alpha
+    den = 1.0 - 2.0 * kval * p + kval * kval * alpha * beta
+    safe = np.where(np.abs(den) < _EPS, den + _EPS, den)
+    num = coeff_a * a + coeff_b * b
+    diff = num / safe
+    r = np.sqrt(np.sum(diff * diff, axis=-1, keepdims=True) + _EPS)
+    f, df_dr, df_dk = _artan_k_vjp(r, kval)
+    out_data = 2.0 * f
+
+    def backward(grad):
+        g_f = 2.0 * grad
+        g_r = g_f * df_dr
+        grad_k = np.sum(g_f * df_dk)
+        g_diff = g_r * diff / r
+        g_num = g_diff / safe
+        g_den = -np.sum(g_diff * diff, axis=-1, keepdims=True) / safe
+        g_ca = np.sum(g_num * a, axis=-1, keepdims=True)
+        g_cb = np.sum(g_num * b, axis=-1, keepdims=True)
+        g_a = coeff_a * g_num
+        g_b = coeff_b * g_num
+        g_p = -2.0 * kval * (g_ca + g_den)
+        g_alpha = kval * kval * beta * g_den + kval * g_cb
+        g_beta = kval * kval * alpha * g_den - kval * g_ca
+        grad_k += np.sum(g_den * (-2.0 * p + 2.0 * kval * alpha * beta)
+                         + g_ca * (-2.0 * p - beta) + g_cb * alpha)
+        g_a = g_a + g_p * b + 2.0 * g_alpha * a
+        g_b = g_b + g_p * a + 2.0 * g_beta * b
+        return (_unbroadcast(-g_a, x.shape),
+                _unbroadcast(g_b, y.shape),
+                np.asarray(grad_k).reshape(kappa.shape))
+
+    return Tensor._make(out_data, (x, y, kappa), backward)
 
 
 def rowwise_dist(x: np.ndarray, y: np.ndarray, kappa: float) -> np.ndarray:

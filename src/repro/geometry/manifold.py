@@ -13,6 +13,12 @@ The *adaptive* space of AMCAD is a trainable ``UnifiedManifold`` whose κ
 is a scalar :class:`~repro.autodiff.tensor.Parameter` updated by the
 same optimiser as the rest of the model and clamped to a stable range
 after each step (:meth:`UnifiedManifold.constrain`).
+
+The hot operations — ``expmap0``, ``logmap0`` and ``dist`` — dispatch to
+the fused single-tape-node kernels of :mod:`repro.geometry.fast`; the
+composed micro-op chains in :mod:`repro.geometry.stereographic` remain
+the reference implementation (same values and gradients, an order of
+magnitude more tape nodes) and still back ``mobius_add``/``matvec``.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import numpy as np
 
 from repro.autodiff import ops
 from repro.autodiff.tensor import Parameter, Tensor
+from repro.geometry import fast
 from repro.geometry import stereographic as st
 
 
@@ -77,21 +84,22 @@ class UnifiedManifold:
     # -- operations (paper Table II) ---------------------------------------
 
     def expmap0(self, v) -> Tensor:
-        return st.expmap0(v, self.kappa)
+        return fast.fused_expmap0(v, self.kappa)
 
     def logmap0(self, x) -> Tensor:
-        return st.logmap0(x, self.kappa)
+        return fast.fused_logmap0(x, self.kappa)
 
     def mobius_add(self, x, y) -> Tensor:
         return st.mobius_add(x, y, self.kappa)
 
     def matvec(self, weight, x) -> Tensor:
-        """Möbius matrix multiplication ``W ⊗κ x``."""
-        return st.mobius_matvec(weight, x, self.kappa)
+        """Möbius matrix multiplication ``W ⊗κ x`` (fused exp/log maps)."""
+        tangent = fast.fused_logmap0(x, self.kappa)
+        return fast.fused_expmap0(ops.matmul(tangent, weight), self.kappa)
 
     def dist(self, x, y) -> Tensor:
         """Geodesic distance with the trailing axis squeezed to scalars."""
-        return st.dist_k(x, y, self.kappa)
+        return fast.fused_dist(x, y, self.kappa)
 
     def project(self, x) -> Tensor:
         return st.project(x, self.kappa)
@@ -103,7 +111,7 @@ class UnifiedManifold:
         ``target`` defaults to this manifold (κ2 = κ1).
         """
         target = target if target is not None else self
-        return st.expmap0(fn(self.logmap0(x)), target.kappa)
+        return fast.fused_expmap0(fn(self.logmap0(x)), target.kappa)
 
     def origin(self, *leading) -> Tensor:
         """The origin point, broadcast to ``(*leading, dim)``."""

@@ -39,13 +39,22 @@ class CategoryPools(NamedTuple):
 class _CSR:
     """Compressed sparse rows: ``indices[indptr[i]:indptr[i+1]]``."""
 
-    __slots__ = ("indptr", "indices", "weights")
+    __slots__ = ("indptr", "indices", "weights", "_weight_prefix")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray,
                  weights: np.ndarray):
         self.indptr = indptr
         self.indices = indices
         self.weights = weights
+        self._weight_prefix: Optional[np.ndarray] = None
+
+    @property
+    def weight_prefix(self) -> np.ndarray:
+        """``[0, w0, w0+w1, …]`` — the inverse-CDF table for sampling."""
+        if self._weight_prefix is None:
+            self._weight_prefix = np.concatenate(
+                [[0.0], np.cumsum(self.weights)])
+        return self._weight_prefix
 
     @classmethod
     def from_edges(cls, num_rows: int, src: np.ndarray, dst: np.ndarray,
@@ -221,24 +230,39 @@ class HetGraph:
         """Sample ``k`` neighbours of type ``dst_type`` for each source.
 
         Returns ``(neighbour_ids, mask)`` of shape ``(len(indices), k)``;
-        rows with fewer than ``k`` neighbours are padded with 0 and
-        masked out.  Sampling is with replacement, proportional to edge
-        weight — the stochastic analogue of Eq. 5's mean aggregation.
+        rows with no neighbours are padded with 0 and masked out.
+        Sampling is with replacement, proportional to edge weight — the
+        stochastic analogue of Eq. 5's mean aggregation.
+
+        Vectorised over the whole batch: one uniform block scaled by
+        each row's total weight, inverted through the CSR's cached
+        cumulative-weight prefix with a single ``searchsorted`` — no
+        per-row python work, which matters because the encode-plan
+        sampling phase calls this for every frontier level.
         """
         indices = np.asarray(indices, dtype=np.int64)
         csr = self._merged_csr(src_type, dst_type)
         out = np.zeros((indices.size, k), dtype=np.int64)
         mask = np.zeros((indices.size, k), dtype=np.float64)
-        for row, node in enumerate(indices):
-            lo, hi = csr.indptr[node], csr.indptr[node + 1]
-            degree = hi - lo
-            if degree == 0:
-                continue
-            weights = csr.weights[lo:hi]
-            probs = weights / weights.sum()
-            picks = rng.choice(degree, size=k, p=probs)
-            out[row] = csr.indices[lo + picks]
-            mask[row] = 1.0
+        if indices.size == 0 or csr.nnz == 0:
+            return out, mask
+        prefix = csr.weight_prefix
+        lo = csr.indptr[indices]
+        hi = csr.indptr[indices + 1]
+        totals = prefix[hi] - prefix[lo]
+        # a row whose weights sum to zero has no samplable neighbour:
+        # treat it like degree 0 (all-masked) instead of emitting an
+        # edge whose sampling probability is 0
+        valid = (hi > lo) & (totals > 0)
+        if not np.any(valid):
+            return out, mask
+        # inverse CDF: u ~ U[prefix[lo], prefix[hi]) per draw, located in
+        # the global prefix and clipped back into the row's own range
+        u = prefix[lo][:, None] + rng.random((indices.size, k)) * totals[:, None]
+        picks = np.searchsorted(prefix, u, side="right") - 1
+        picks = np.clip(picks, lo[:, None], (hi - 1)[:, None])
+        out[valid] = csr.indices[picks[valid]]
+        mask[valid] = 1.0
         return out, mask
 
     def alias_tables(self, src_type: NodeType, edge_type: EdgeType,

@@ -14,7 +14,8 @@ Metapath2Vec) are a separate skip-gram family in
 """
 
 from repro.models.features import FeatureEmbedding, LRUFeatureRegistry
-from repro.models.encoder import NodeEncoder
+from repro.models.encoder import COMPUTE_PLANES, NodeEncoder
+from repro.models.plan import EncodePlan, NeighborDrawCache, build_encode_plan
 from repro.models.scorer import EdgeScorer
 from repro.models.amcad import (
     AMCAD,
@@ -34,6 +35,10 @@ __all__ = [
     "FeatureEmbedding",
     "LRUFeatureRegistry",
     "NodeEncoder",
+    "COMPUTE_PLANES",
+    "EncodePlan",
+    "NeighborDrawCache",
+    "build_encode_plan",
     "EdgeScorer",
     "AMCAD",
     "AMCADConfig",

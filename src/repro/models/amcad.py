@@ -32,7 +32,8 @@ from repro.geometry.stereographic import fermi_dirac
 from repro.graph.hetgraph import HetGraph
 from repro.graph.sampling import SampleBatch, TrainingSample, as_sample_batches
 from repro.graph.schema import NodeType, Relation
-from repro.models.encoder import NodeEncoder
+from repro.models.encoder import COMPUTE_PLANES, NodeEncoder
+from repro.models.plan import EncodePlan
 from repro.models.scorer import EdgeScorer
 
 _SIGNATURE_KAPPA = {"H": -1.0, "E": 0.0, "S": 1.0, "U": None}
@@ -68,6 +69,9 @@ class AMCADConfig:
     feature_dim: int = 8
     gcn_layers: int = 1
     neighbor_samples: int = 4
+    #: context-encoder compute plane: ``"frontier"`` (dedup-encode-gather,
+    #: default) or ``"recursive"`` (the parity reference)
+    compute_plane: str = "frontier"
     space: str = "adaptive"
     use_fusion: bool = True
     share_edge_space: bool = False
@@ -140,7 +144,8 @@ class AMCAD:
         self.encoder = NodeEncoder(
             graph, self.node_manifolds, feature_dim=cfg.feature_dim,
             gcn_layers=cfg.gcn_layers, neighbor_samples=cfg.neighbor_samples,
-            use_fusion=cfg.use_fusion, rng=rng)
+            use_fusion=cfg.use_fusion, compute_plane=cfg.compute_plane,
+            rng=rng)
         adaptive_edges = cfg.adaptive_edge_curvature and cfg.space in (
             "adaptive", "unified")
         self.scorer = EdgeScorer(
@@ -151,9 +156,12 @@ class AMCAD:
     # -- scoring ----------------------------------------------------------------
 
     def encode(self, node_type: NodeType, indices: np.ndarray,
-               rng: Optional[np.random.Generator] = None) -> List[Tensor]:
+               rng: Optional[np.random.Generator] = None,
+               plan: Optional[EncodePlan] = None,
+               use_draw_cache: bool = True) -> List[Tensor]:
         """Subspace points for a batch of nodes of one type."""
-        return self.encoder.encode(node_type, indices, rng=rng)
+        return self.encoder.encode(node_type, indices, rng=rng, plan=plan,
+                                   use_draw_cache=use_draw_cache)
 
     def pair_distance(self, relation: Relation, src_indices: np.ndarray,
                       dst_indices: np.ndarray,
@@ -174,15 +182,79 @@ class AMCAD:
 
     # -- loss --------------------------------------------------------------------
 
+    def _encode_group_recursive(self, group: SampleBatch,
+                                rng: np.random.Generator,
+                                plans) -> Tuple[List[Tensor], List[Tensor],
+                                                List[Tensor]]:
+        """Reference encoding: source set and target set, no dedup."""
+        relation = group.relation
+        batch = group.src_idx.size
+        plan = plans.get(relation.source_type) if plans else None
+        src_points = self.encode(relation.source_type, group.src_idx, rng,
+                                 plan=plan)
+        # positives and negatives share a type: one batched encode
+        tgt_idx = np.concatenate([group.pos_idx, group.neg_idx.ravel()])
+        plan = plans.get(relation.target_type) if plans else None
+        tgt_points = self.encode(relation.target_type, tgt_idx, rng,
+                                 plan=plan)
+        pos_points = [p[:batch] for p in tgt_points]
+        neg_points = [p[batch:] for p in tgt_points]
+        return src_points, pos_points, neg_points
+
+    def _encode_group_frontier(self, group: SampleBatch,
+                               rng: np.random.Generator,
+                               plans) -> Tuple[List[Tensor], List[Tensor],
+                                               List[Tensor]]:
+        """Dedup encoding: one unique encode per endpoint role, gathered.
+
+        The flattened ``(B, K)`` negative block overlaps heavily with the
+        positives and with itself (negatives repeat across rows, walks
+        revisit hot nodes), so ``pos ∪ neg`` is merged into a single
+        deduplicated frontier encode per node type; the source set is
+        deduplicated separately.  For the four cross-type relations that
+        *is* one encode per node type.  For same-type relations
+        (``q2q``/``i2i``) the source role deliberately keeps its own
+        neighbour draws: collapsing source and target onto shared draws
+        makes ``pos_sim`` and ``neg_sim`` move on common random numbers,
+        which shrinks the variance of their difference and starves the
+        margin hinge of gradient events — measured as a ~5-point
+        next-day-AUC drop on the tiny pipeline, reproducible across
+        seeds.
+        """
+        relation = group.relation
+        batch = group.src_idx.size
+        uniq_src, inv_src = np.unique(group.src_idx, return_inverse=True)
+        plan = plans.get(relation.source_type) if plans else None
+        # use_draw_cache=False: a cross-step draw cache keys only on the
+        # node, so letting the source role read it would re-couple both
+        # endpoints of a same-type relation onto shared draws
+        points = self.encode(relation.source_type, uniq_src, rng, plan=plan,
+                             use_draw_cache=False)
+        src_points = [ops.gather(p, inv_src) for p in points]
+        merged = np.concatenate([group.pos_idx, group.neg_idx.ravel()])
+        uniq_tgt, inv_tgt = np.unique(merged, return_inverse=True)
+        plan = plans.get(relation.target_type) if plans else None
+        points = self.encode(relation.target_type, uniq_tgt, rng, plan=plan)
+        pos_points = [ops.gather(p, inv_tgt[:batch]) for p in points]
+        neg_points = [ops.gather(p, inv_tgt[batch:]) for p in points]
+        return src_points, pos_points, neg_points
+
     def loss(self, samples: Union[SampleBatch, Sequence[TrainingSample]],
-             rng: Optional[np.random.Generator] = None) -> Tensor:
+             rng: Optional[np.random.Generator] = None,
+             plans: Optional[Dict[NodeType, EncodePlan]] = None) -> Tensor:
         """Triplet loss over a batch (paper Eq. 15 + Eq. 16 regulariser).
 
         Accepts a :class:`SampleBatch` from the array-native sampling
         plane directly, or a sequence of :class:`TrainingSample` from
-        the looped reference path (grouped per relation as before);
-        within a group, encodings of the source, positive and the K
-        negatives are batched.
+        the looped reference path (grouped per relation as before).  On
+        the frontier compute plane, ``src``/``pos``/``neg`` index sets
+        are merged into one deduplicated encode per node type and the
+        rows are gathered back out; the recursive plane keeps the
+        original two-encode structure as the parity reference.  ``plans``
+        optionally supplies pre-built per-node-type
+        :class:`~repro.models.plan.EncodePlan` objects whose captured
+        neighbour draws both planes then share (the parity hook used by
+        the encoder-plane tests).
         """
         rng = rng or self.rng
         cfg = self.config
@@ -196,12 +268,12 @@ class AMCAD:
             neg_idx = group.neg_idx
             batch, k = neg_idx.shape
 
-            src_points = self.encode(relation.source_type, src_idx, rng)
-            # positives and negatives share a type: one batched encode
-            tgt_idx = np.concatenate([pos_idx, neg_idx.ravel()])
-            tgt_points = self.encode(relation.target_type, tgt_idx, rng)
-            pos_points = [p[:batch] for p in tgt_points]
-            neg_points = [p[batch:] for p in tgt_points]
+            if self.encoder.compute_plane == "frontier":
+                src_points, pos_points, neg_points = \
+                    self._encode_group_frontier(group, rng, plans)
+            else:
+                src_points, pos_points, neg_points = \
+                    self._encode_group_recursive(group, rng, plans)
 
             # repeat source points K times to align with flattened negatives
             rep = np.repeat(np.arange(batch), k)
@@ -307,6 +379,11 @@ def make_model(name: str, graph: HetGraph, *, num_subspaces: int = 2,
       e.g. ``product:HS``;
     - ablations: ``amcad-mixed``, ``amcad-curv``, ``amcad-fusion``,
       ``amcad-proj``, ``amcad-comb`` (Table VII rows).
+
+    Every variant additionally accepts ``compute_plane="frontier"``
+    (default; dedup-encode-gather context encoding) or ``"recursive"``
+    (the original per-layer recursion, kept as the parity reference)
+    through ``overrides`` — see :data:`repro.models.encoder.COMPUTE_PLANES`.
     """
     key = name.lower()
     base = dict(num_subspaces=num_subspaces, subspace_dim=subspace_dim,

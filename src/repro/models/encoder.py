@@ -19,6 +19,20 @@ Each node type owns its own product manifold, i.e. its own set of
 curvatures ``κ_{m,t}`` — queries can become hyperbolic while ads go
 spherical, which is exactly the heterogeneity argument of the paper.
 
+Compute planes.  The context encoder runs on one of two planes
+(``compute_plane``), mirroring the trainer's ``data_plane`` switch:
+
+- ``"frontier"`` (default) — a two-phase dedup-encode-gather design.
+  A pure-numpy sampling phase builds an
+  :class:`~repro.models.plan.EncodePlan` (per-level frontiers of unique
+  nodes + captured neighbour draws + gather maps); the compute phase
+  then encodes each unique frontier **once**, bottom-up, and routes
+  rows through ``ops.gather``.  Cost grows with the number of *unique*
+  nodes in the receptive field instead of ``(k·|types|)^L``.
+- ``"recursive"`` — the original per-layer recursion, kept as the
+  parity reference.  When handed a plan it replays the captured draws,
+  which makes the two planes bit-comparable on the same batch.
+
 Implementation note — Möbius biases.  Every curved linear stage here is
 ``W ⊗κ x ⊕κ exp^κ_0(b)`` rather than the bias-free ``W ⊗κ x`` of the
 paper's equations.  The Möbius bias (standard in hyperbolic neural
@@ -42,6 +56,10 @@ from repro.geometry.product import ProductManifold
 from repro.graph.hetgraph import HetGraph
 from repro.graph.schema import NodeType
 from repro.models.features import FeatureEmbedding, glorot
+from repro.models.plan import EncodePlan, NeighborDrawCache, build_encode_plan
+
+#: Registered context-encoder compute planes (see module docstring).
+COMPUTE_PLANES = ("frontier", "recursive")
 
 
 class NodeEncoder:
@@ -61,18 +79,29 @@ class NodeEncoder:
         Neighbours sampled per (node, neighbour-type) during aggregation.
     use_fusion:
         Enable the space-fusion stage (ablation ``- fusion``).
+    compute_plane:
+        ``"frontier"`` (dedup-encode-gather, default) or
+        ``"recursive"`` (per-layer recursion, the parity reference).
     """
 
     def __init__(self, graph: HetGraph,
                  manifolds: Dict[NodeType, ProductManifold],
                  feature_dim: int = 8, gcn_layers: int = 1,
                  neighbor_samples: int = 4, use_fusion: bool = True,
+                 compute_plane: str = "frontier",
                  rng: Optional[np.random.Generator] = None):
+        if compute_plane not in COMPUTE_PLANES:
+            raise ValueError("compute_plane must be one of %s, got %r"
+                             % (", ".join(COMPUTE_PLANES), compute_plane))
         self.graph = graph
         self.manifolds = manifolds
         self.gcn_layers = int(gcn_layers)
         self.neighbor_samples = int(neighbor_samples)
         self.use_fusion = bool(use_fusion)
+        self.compute_plane = compute_plane
+        #: optional :class:`NeighborDrawCache` shared across plans —
+        #: attached by the trainer when ``plan_refresh > 1``
+        self.draw_cache: Optional[NeighborDrawCache] = None
         rng = rng or np.random.default_rng(0)
         self._rng = rng
 
@@ -125,6 +154,11 @@ class NodeEncoder:
             sizes[node_type] = {}
             for field, values in fields.items():
                 values = np.asarray(values)
+                if values.size == 0:
+                    raise ValueError(
+                        "feature field %r of node type %r is empty; cannot "
+                        "infer a vocabulary size (provide at least one value "
+                        "or drop the field)" % (field, node_type.value))
                 sizes[node_type][field] = int(values.max()) + 1
         return sizes
 
@@ -143,38 +177,43 @@ class NodeEncoder:
         return out
 
     # -- stage 2: context encoding (Eq. 5-6) -------------------------------------
+    #
+    # The Eq. 5-6 math is shared by both compute planes: `_pool` turns one
+    # neighbour block into per-subspace masked-mean tangents, `_gcn_update`
+    # applies the curved linear round.  The planes differ only in *what*
+    # they feed in: the recursive plane re-encodes (duplicated) neighbour
+    # sets depth-first, the frontier plane gathers rows from the unique
+    # frontier encoded one level below.
 
-    def _aggregate(self, node_type: NodeType, indices: np.ndarray,
-                   layer: int, rng: np.random.Generator) -> List[Tensor]:
-        """One GCN round: returns updated subspace points."""
-        self_points = self._encode_layer(node_type, indices, layer, rng)
-        manifold = self.manifolds[node_type]
-        batch = len(indices)
+    @staticmethod
+    def _accumulate(neighbor_sums: List[Optional[Tensor]],
+                    pooled: List[Tensor]) -> None:
+        """Add one neighbour type's pooled tangents into the running sums."""
+        for m, term in enumerate(pooled):
+            if neighbor_sums[m] is None:
+                neighbor_sums[m] = term
+            else:
+                neighbor_sums[m] = neighbor_sums[m] + term
+
+    def _pool(self, other_type: NodeType, neigh_points: List[Tensor],
+              mask: np.ndarray, batch: int) -> List[Tensor]:
+        """Masked-mean tangent pooling of one ``(B, k)`` neighbour block."""
         k = self.neighbor_samples
+        other_manifold = self.manifolds[other_type]
+        mask_t = Tensor(mask[..., None])                    # (B, k, 1)
+        denom = Tensor(np.maximum(mask.sum(axis=1, keepdims=True), 1.0))
+        pooled: List[Tensor] = []
+        for m in range(self.num_subspaces):
+            tangent = other_manifold.factors[m].logmap0(neigh_points[m])
+            tangent = tangent.reshape(batch, k, self.subspace_dim)
+            pooled.append(ops.sum(tangent * mask_t, axis=1) / denom)
+        return pooled
 
-        # tangent aggregation per subspace, summed over neighbour types
-        neighbor_sums: List[Optional[Tensor]] = [None] * self.num_subspaces
-        for other_type in NodeType:
-            if self.graph.num_nodes[other_type] == 0:
-                continue
-            neigh_ids, mask = self.graph.sample_neighbors(
-                rng, node_type, indices, other_type, k)
-            if mask.sum() == 0:
-                continue
-            neigh_points = self._encode_layer(
-                other_type, neigh_ids.ravel(), layer, rng)
-            other_manifold = self.manifolds[other_type]
-            mask_t = Tensor(mask[..., None])                    # (B, k, 1)
-            denom = Tensor(np.maximum(mask.sum(axis=1, keepdims=True), 1.0))
-            for m in range(self.num_subspaces):
-                tangent = other_manifold.factors[m].logmap0(neigh_points[m])
-                tangent = tangent.reshape(batch, k, self.subspace_dim)
-                pooled = ops.sum(tangent * mask_t, axis=1) / denom
-                if neighbor_sums[m] is None:
-                    neighbor_sums[m] = pooled
-                else:
-                    neighbor_sums[m] = neighbor_sums[m] + pooled
-
+    def _gcn_update(self, node_type: NodeType, layer: int,
+                    self_points: List[Tensor],
+                    neighbor_sums: List[Optional[Tensor]],
+                    batch: int) -> List[Tensor]:
+        """One GCN round (Eq. 5-6) given pooled neighbour tangent sums."""
         updated: List[Tensor] = []
         for m in range(self.num_subspaces):
             factor = self.manifolds[node_type].factors[m]
@@ -193,11 +232,95 @@ class NodeEncoder:
             updated.append(factor.project(point))
         return updated
 
+    def _aggregate(self, node_type: NodeType, indices: np.ndarray,
+                   layer: int, rng: np.random.Generator,
+                   plan: Optional[EncodePlan] = None) -> List[Tensor]:
+        """One recursive GCN round; with ``plan``, replays captured draws."""
+        self_points = self._encode_layer(node_type, indices, layer, rng, plan)
+        batch = len(indices)
+        k = self.neighbor_samples
+
+        # tangent aggregation per subspace, summed over neighbour types
+        neighbor_sums: List[Optional[Tensor]] = [None] * self.num_subspaces
+        for other_type in NodeType:
+            if self.graph.num_nodes[other_type] == 0:
+                continue
+            if plan is not None:
+                neigh_ids, mask = plan.lookup(layer, node_type, indices,
+                                              other_type)
+            else:
+                neigh_ids, mask = self.graph.sample_neighbors(
+                    rng, node_type, indices, other_type, k)
+            if mask.sum() == 0:
+                continue
+            neigh_points = self._encode_layer(
+                other_type, neigh_ids.ravel(), layer, rng, plan)
+            self._accumulate(neighbor_sums,
+                             self._pool(other_type, neigh_points, mask, batch))
+        return self._gcn_update(node_type, layer, self_points, neighbor_sums,
+                                batch)
+
     def _encode_layer(self, node_type: NodeType, indices: np.ndarray,
-                      layer: int, rng: np.random.Generator) -> List[Tensor]:
+                      layer: int, rng: np.random.Generator,
+                      plan: Optional[EncodePlan] = None) -> List[Tensor]:
         if layer == 0:
             return self.inductive(node_type, indices)
-        return self._aggregate(node_type, indices, layer - 1, rng)
+        return self._aggregate(node_type, indices, layer - 1, rng, plan)
+
+    # -- frontier compute phase ---------------------------------------------------
+
+    def build_plan(self, node_type: NodeType, indices: np.ndarray,
+                   rng: Optional[np.random.Generator] = None,
+                   use_draw_cache: bool = True) -> EncodePlan:
+        """Sampling phase: capture the receptive field of ``indices``.
+
+        Pure numpy — no tape.  The resulting plan can be fed back to
+        :meth:`encode` (any requested indices must be covered by its top
+        frontier), shared between the two planes for parity testing, and
+        reused across steps via the attached :attr:`draw_cache`.
+        ``use_draw_cache=False`` forces fresh draws even when a cache is
+        attached — the loss uses this for the source role so cached
+        draws never couple the two endpoints of a same-type relation.
+        """
+        rng = rng or self._rng
+        cache = self.draw_cache if use_draw_cache else None
+        return build_encode_plan(self.graph, node_type, indices,
+                                 self.gcn_layers, self.neighbor_samples, rng,
+                                 draw_cache=cache)
+
+    def _encode_from_plan(self, plan: EncodePlan) -> List[Tensor]:
+        """Compute phase: encode unique frontiers bottom-up, gather rows.
+
+        Every node appears exactly once per level; upper levels address
+        the level below through ``ops.gather``, whose scatter-add
+        backward accumulates gradients of repeated rows.
+        """
+        reps: Dict[tuple, List[Tensor]] = {}
+        for t in NodeType:
+            frontier = plan.levels[0].frontiers.get(t)
+            if frontier is not None:
+                reps[(0, t)] = self.inductive(t, frontier)
+        for l in range(1, plan.layers + 1):
+            level = plan.levels[l]
+            for t in NodeType:
+                uniq = level.frontiers.get(t)
+                if uniq is None:
+                    continue
+                self_points = [ops.gather(p, level.self_maps[t])
+                               for p in reps[(l - 1, t)]]
+                neighbor_sums: List[Optional[Tensor]] = \
+                    [None] * self.num_subspaces
+                for block in level.blocks[t]:
+                    if block.gather is None:    # all-masked: contributes 0
+                        continue
+                    below = reps[(l - 1, block.dst_type)]
+                    neigh_points = [ops.gather(p, block.gather) for p in below]
+                    self._accumulate(neighbor_sums,
+                                     self._pool(block.dst_type, neigh_points,
+                                                block.mask, uniq.size))
+                reps[(l, t)] = self._gcn_update(t, l - 1, self_points,
+                                                neighbor_sums, uniq.size)
+        return reps[(plan.layers, plan.node_type)]
 
     # -- stage 3: space fusion (Eq. 7-8) --------------------------------------------
 
@@ -218,14 +341,33 @@ class NodeEncoder:
     # -- public entry point ----------------------------------------------------------
 
     def encode(self, node_type: NodeType, indices: np.ndarray,
-               rng: Optional[np.random.Generator] = None) -> List[Tensor]:
+               rng: Optional[np.random.Generator] = None,
+               plan: Optional[EncodePlan] = None,
+               use_draw_cache: bool = True) -> List[Tensor]:
         """Full node representation: one point tensor per subspace.
 
         Output: list of M tensors shaped ``(len(indices), subspace_dim)``.
+        On the frontier plane a fresh :class:`EncodePlan` is built unless
+        one is supplied; on the recursive plane a supplied plan replays
+        its captured neighbour draws (the parity hook) instead of
+        sampling from ``rng``.
         """
         rng = rng or self._rng
         indices = np.asarray(indices, dtype=np.int64)
-        points = self._encode_layer(node_type, indices, self.gcn_layers, rng)
+        if self.compute_plane == "frontier":
+            if plan is None:
+                plan = self.build_plan(node_type, indices, rng,
+                                       use_draw_cache=use_draw_cache)
+            points = self._encode_from_plan(plan)
+            if self.use_fusion:
+                points = self._fuse(node_type, points)
+            out_map = plan.output_map(indices)
+            if (out_map.size == points[0].shape[0]
+                    and np.array_equal(out_map, np.arange(out_map.size))):
+                return points    # already unique and in frontier order
+            return [ops.gather(p, out_map) for p in points]
+        points = self._encode_layer(node_type, indices, self.gcn_layers, rng,
+                                    plan)
         if self.use_fusion:
             points = self._fuse(node_type, points)
         return points

@@ -1,0 +1,221 @@
+"""Frontier-based encode planning — the sampling phase of the compute plane.
+
+The recursive context encoder (paper §IV-B-2) re-encodes every sampled
+neighbour from scratch, so one batch costs ``(k·|types|)^L`` encoder
+evaluations and the same node is pushed through the tape many times.
+This module separates the *stochastic* part of that computation — which
+neighbours each node aggregates at each GCN round — from the
+*differentiable* part, as a pure-numpy planning pass:
+
+- :func:`build_encode_plan` walks the receptive field top-down and
+  produces an :class:`EncodePlan`: per-level frontiers of **unique**
+  ``(node_type, index)`` sets, per-frontier neighbour draws with masks,
+  and precomputed gather maps (positions into the level below);
+- the encoder's compute phase then encodes each unique frontier exactly
+  once, bottom-up, routing representations through ``ops.gather``
+  (``take`` forward, ``np.add.at`` scatter-add backward);
+- because the plan *captures* the neighbour draws, the recursive
+  reference plane can replay the exact same draws
+  (:meth:`EncodePlan.lookup`), which is what makes loss/gradient parity
+  between the planes testable to machine precision.
+
+``EncodePlan`` is deliberately dumb data — arrays only, no tensors — so
+it is the natural contract for future multi-process samplers (a worker
+only needs to emit a plan) and for cached-frontier encoding
+(:class:`NeighborDrawCache` reuses draws across trainer steps).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.hetgraph import HetGraph
+from repro.graph.schema import NodeType
+
+
+def _positions(frontier: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Positions of ``values`` inside the sorted-unique ``frontier``."""
+    values = np.asarray(values, dtype=np.int64).ravel()
+    pos = np.searchsorted(frontier, values)
+    if values.size:
+        clipped = np.minimum(pos, frontier.size - 1)
+        if frontier.size == 0 or np.any(frontier[clipped] != values):
+            raise ValueError("requested node ids are not covered by the "
+                             "plan's frontier")
+    return pos.astype(np.int64)
+
+
+@dataclasses.dataclass
+class NeighborBlock:
+    """Captured neighbour draws of one ``(src_type → dst_type)`` edge set.
+
+    ``neigh_ids``/``mask`` are ``(U, k)`` over the level's unique
+    frontier; ``gather`` holds the flattened positions of ``neigh_ids``
+    inside the *level-below* frontier of ``dst_type`` (``None`` when the
+    mask is entirely empty and the block is skipped, mirroring the
+    recursive plane's behaviour).
+    """
+
+    src_type: NodeType
+    dst_type: NodeType
+    neigh_ids: np.ndarray
+    mask: np.ndarray
+    gather: Optional[np.ndarray] = None
+
+
+@dataclasses.dataclass
+class PlanLevel:
+    """One GCN round's worth of frontiers, draws and gather maps.
+
+    Level ``l`` holds, per node type, the unique nodes whose
+    representation *after* ``l`` GCN rounds is needed; ``self_maps``
+    locate those nodes inside the level-``l-1`` frontier of the same
+    type (absent at level 0, which is inductive-only).
+    """
+
+    frontiers: Dict[NodeType, np.ndarray] = dataclasses.field(
+        default_factory=dict)
+    self_maps: Dict[NodeType, np.ndarray] = dataclasses.field(
+        default_factory=dict)
+    blocks: Dict[NodeType, List[NeighborBlock]] = dataclasses.field(
+        default_factory=dict)
+
+
+@dataclasses.dataclass
+class EncodePlan:
+    """A fully-sampled GCN receptive field, ready for one-pass encoding."""
+
+    node_type: NodeType
+    indices: np.ndarray
+    layers: int
+    neighbor_samples: int
+    levels: List[PlanLevel]
+
+    def output_map(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Top-frontier positions of ``indices`` (default: the request)."""
+        if indices is None:
+            indices = self.indices
+        return _positions(self.levels[self.layers].frontiers[self.node_type],
+                          indices)
+
+    def lookup(self, layer: int, src_type: NodeType, indices: np.ndarray,
+               dst_type: NodeType) -> Tuple[np.ndarray, np.ndarray]:
+        """Replay the captured draws for arbitrary (possibly duplicated)
+        ``indices`` — the recursive plane's parity hook.
+
+        ``layer`` is the 0-based GCN round, matching the ``layer``
+        argument of the encoder's aggregation step.
+        """
+        level = self.levels[layer + 1]
+        for block in level.blocks.get(src_type, ()):
+            if block.dst_type == dst_type:
+                pos = _positions(level.frontiers[src_type], indices)
+                return block.neigh_ids[pos], block.mask[pos]
+        raise KeyError("plan holds no draws for round %d %s -> %s"
+                       % (layer, src_type.value, dst_type.value))
+
+    def num_encoded(self) -> int:
+        """Total unique encoder evaluations the plan schedules."""
+        return int(sum(frontier.size for level in self.levels
+                       for frontier in level.frontiers.values()))
+
+
+class NeighborDrawCache:
+    """Per-node neighbour-draw memo shared across plans (and steps).
+
+    Keyed by ``(round, src_type, dst_type)``; each entry lazily fills a
+    ``(num_nodes, k)`` draw table so a node sampled in one batch reuses
+    the same neighbours when it reappears — the "cached frontier" reuse
+    knob exposed as ``TrainerConfig.plan_refresh`` (the trainer clears
+    the cache every N steps to resample).  The key carries no encode
+    role, so the loss builds its source-role plans with the cache
+    bypassed (``use_draw_cache=False``) — otherwise both endpoints of a
+    same-type relation would share draws, the common-random-numbers
+    pathology described in ``AMCAD._encode_group_frontier``.
+    """
+
+    def __init__(self):
+        self._store: Dict[tuple, tuple] = {}
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def sample(self, rng: np.random.Generator, graph: HetGraph, layer: int,
+               src_type: NodeType, indices: np.ndarray, dst_type: NodeType,
+               k: int) -> Tuple[np.ndarray, np.ndarray]:
+        key = (layer, src_type, dst_type)
+        entry = self._store.get(key)
+        n = graph.num_nodes[src_type]
+        if entry is None or entry[0].shape[1] != k:
+            entry = (np.zeros((n, k), dtype=np.int64),
+                     np.zeros((n, k), dtype=np.float64),
+                     np.zeros(n, dtype=bool))
+            self._store[key] = entry
+        ids, mask, seen = entry
+        missing = indices[~seen[indices]]
+        if missing.size:
+            new_ids, new_mask = graph.sample_neighbors(
+                rng, src_type, missing, dst_type, k)
+            ids[missing] = new_ids
+            mask[missing] = new_mask
+            seen[missing] = True
+        return ids[indices], mask[indices]
+
+
+def build_encode_plan(graph: HetGraph, node_type: NodeType,
+                      indices: np.ndarray, layers: int, neighbor_samples: int,
+                      rng: np.random.Generator,
+                      draw_cache: Optional[NeighborDrawCache] = None
+                      ) -> EncodePlan:
+    """Sample the GCN receptive field of ``indices`` into an :class:`EncodePlan`.
+
+    Pure numpy: walks the frontier top-down (level ``layers`` … 1),
+    draws ``neighbor_samples`` typed neighbours per unique frontier node
+    per round, then resolves every gather map against the deduplicated
+    level-below frontiers.  Neighbour-type iteration follows the
+    :class:`NodeType` declaration order, matching the recursive plane.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    layers = int(layers)
+    k = int(neighbor_samples)
+    levels = [PlanLevel() for _ in range(layers + 1)]
+    levels[layers].frontiers[node_type] = np.unique(indices)
+
+    for l in range(layers, 0, -1):
+        level = levels[l]
+        below: Dict[NodeType, List[np.ndarray]] = {}
+        for src_type in NodeType:
+            uniq = level.frontiers.get(src_type)
+            if uniq is None:
+                continue
+            # the self path always needs the previous-round representation
+            below.setdefault(src_type, []).append(uniq)
+            blocks: List[NeighborBlock] = []
+            for dst_type in NodeType:
+                if graph.num_nodes[dst_type] == 0:
+                    continue
+                if draw_cache is not None:
+                    neigh, mask = draw_cache.sample(
+                        rng, graph, l - 1, src_type, uniq, dst_type, k)
+                else:
+                    neigh, mask = graph.sample_neighbors(
+                        rng, src_type, uniq, dst_type, k)
+                blocks.append(NeighborBlock(src_type, dst_type, neigh, mask))
+                if mask.sum() > 0:
+                    below.setdefault(dst_type, []).append(np.unique(neigh))
+            level.blocks[src_type] = blocks
+        prev = levels[l - 1]
+        for t, parts in below.items():
+            prev.frontiers[t] = np.unique(np.concatenate(parts))
+        for src_type in level.frontiers:
+            level.self_maps[src_type] = _positions(
+                prev.frontiers[src_type], level.frontiers[src_type])
+            for block in level.blocks[src_type]:
+                if block.mask.sum() > 0:
+                    block.gather = _positions(prev.frontiers[block.dst_type],
+                                              block.neigh_ids)
+    return EncodePlan(node_type=node_type, indices=indices, layers=layers,
+                      neighbor_samples=k, levels=levels)

@@ -173,6 +173,10 @@ def _cmd_models(_args) -> int:
     for name in list_models():
         print(name)
     print("product:<SIG>   (any signature over E/H/S/U, e.g. product:HS)")
+    print()
+    print("every variant runs on an encoder compute plane: "
+          "model.compute_plane = 'frontier' (dedup-encode-gather, default) "
+          "or 'recursive' (parity reference)")
     return 0
 
 

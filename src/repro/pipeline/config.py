@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.data.synthetic import SimulatorConfig
 from repro.graph.schema import Relation
 from repro.models.amcad import AMCADConfig, list_models
+from repro.models.encoder import COMPUTE_PLANES
 from repro.retrieval.backend import BACKENDS
 from repro.training.trainer import DATA_PLANES, TrainerConfig
 
@@ -95,6 +96,9 @@ class ModelConfig:
     num_subspaces: int = 2
     subspace_dim: int = 4
     seed: int = 0
+    #: context-encoder compute plane: ``"frontier"`` (dedup-encode-gather)
+    #: or ``"recursive"`` (the parity reference)
+    compute_plane: str = "frontier"
     #: extra :class:`~repro.models.amcad.AMCADConfig` overrides
     overrides: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
@@ -115,7 +119,10 @@ class ModelConfig:
             raise ValueError("model geometry must be positive, got "
                              "num_subspaces=%d subspace_dim=%d"
                              % (self.num_subspaces, self.subspace_dim))
-        reserved = {"num_subspaces", "subspace_dim", "seed"}
+        if self.compute_plane not in COMPUTE_PLANES:
+            raise ValueError("model.compute_plane must be one of %s, got %r"
+                             % (", ".join(COMPUTE_PLANES), self.compute_plane))
+        reserved = {"num_subspaces", "subspace_dim", "seed", "compute_plane"}
         if reserved & set(self.overrides):
             raise ValueError("set model.%s directly, not via model.overrides"
                              % "/".join(sorted(reserved & set(self.overrides))))
@@ -137,6 +144,9 @@ class TrainingConfig:
     #: sampling implementation: ``"batched"`` (array-native meta-path
     #: walks + negative draws) or ``"looped"`` (per-pair reference)
     data_plane: str = "batched"
+    #: frontier-plane neighbour-draw reuse window in steps (1 = resample
+    #: every step; see ``TrainerConfig.plan_refresh``)
+    plan_refresh: int = 1
 
     def __post_init__(self):
         if self.steps < 1:
@@ -148,6 +158,9 @@ class TrainingConfig:
         if self.data_plane not in DATA_PLANES:
             raise ValueError("training.data_plane must be one of %s, got %r"
                              % (", ".join(DATA_PLANES), self.data_plane))
+        if self.plan_refresh < 1:
+            raise ValueError("training.plan_refresh must be >= 1, got %d"
+                             % self.plan_refresh)
 
     def trainer_config(self) -> TrainerConfig:
         return TrainerConfig(**dataclasses.asdict(self))

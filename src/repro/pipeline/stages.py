@@ -196,7 +196,8 @@ class TrainStage(Stage):
         model = make_model(name, ctx.train_graph,
                            num_subspaces=cfg.model.num_subspaces,
                            subspace_dim=cfg.model.subspace_dim,
-                           seed=seed, **cfg.model.overrides)
+                           seed=seed, compute_plane=cfg.model.compute_plane,
+                           **cfg.model.overrides)
         report = Trainer(model, cfg.training.trainer_config()).train()
         return model, report
 

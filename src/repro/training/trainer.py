@@ -12,6 +12,13 @@ and attaches negatives with array-native draws, handing the loss a
 :class:`~repro.graph.sampling.SampleBatch`.  The ``"looped"`` plane is
 the original one-pair-at-a-time reference implementation, kept for
 parity testing and as documentation of the semantics.
+
+The forward/backward itself runs on the model's encoder *compute
+plane* (``AMCADConfig.compute_plane``): ``"frontier"`` dedups the GCN
+receptive field into per-level unique frontiers before touching the
+tape, ``"recursive"`` is the reference recursion.
+``TrainerConfig.plan_refresh`` adds cross-step reuse of the frontier
+plane's captured neighbour draws.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.graph.metapath import MetaPathWalker
 from repro.graph.sampling import NegativeSampler, SampleBatch
 from repro.graph.schema import Relation
 from repro.models.amcad import AMCAD
+from repro.models.plan import NeighborDrawCache
 from repro.training.optim import AdaGrad
 
 DATA_PLANES = ("batched", "looped")
@@ -39,6 +47,17 @@ class TrainerConfig:
     keep those ratios at laptop scale.  ``data_plane`` selects the
     sampling implementation: ``"batched"`` (array-native, default) or
     ``"looped"`` (the per-pair reference path).
+
+    ``plan_refresh`` controls encode-plan reuse across steps on the
+    frontier compute plane: with a value N > 1, ``train()`` attaches a
+    :class:`~repro.models.plan.NeighborDrawCache` to the encoder for
+    the duration of the loop, so a node revisited within an N-step
+    window reuses its captured neighbour draws (plans are cheaper to
+    build and the GCN sees a stable frontier), and the cache is
+    cleared — draws resampled — every N steps, then detached before
+    ``train()`` returns (inference never sees training-time draws).
+    The default 1 resamples every step, matching the paper's
+    stochastic aggregation exactly.
     """
 
     steps: int = 60
@@ -50,6 +69,7 @@ class TrainerConfig:
     clip_norm: float = 5.0
     seed: int = 0
     data_plane: str = "batched"
+    plan_refresh: int = 1
 
 
 @dataclasses.dataclass
@@ -86,6 +106,19 @@ class Trainer:
         if cfg.data_plane not in DATA_PLANES:
             raise ValueError("data_plane must be one of %s, got %r"
                              % (", ".join(DATA_PLANES), cfg.data_plane))
+        if cfg.plan_refresh < 1:
+            raise ValueError("plan_refresh must be >= 1, got %d"
+                             % cfg.plan_refresh)
+        if cfg.plan_refresh > 1 and model.encoder.compute_plane != "frontier":
+            raise ValueError(
+                "plan_refresh > 1 reuses frontier-plane encode plans; it has "
+                "no effect on compute_plane=%r — set the model's "
+                "compute_plane to 'frontier' or leave plan_refresh at 1"
+                % model.encoder.compute_plane)
+        # drop any stale cache a previous trainer left on the encoder;
+        # train() attaches a fresh one for the duration of the loop only
+        model.encoder.draw_cache = None
+        self._steps_done = 0
         self.rng = np.random.default_rng(cfg.seed)
         self.walker = walker or MetaPathWalker(model.graph)
         self.negative_sampler = negative_sampler or NegativeSampler(
@@ -161,6 +194,10 @@ class Trainer:
 
     def train_step(self) -> float:
         """One batch: sample → loss → backward → clip → AdaGrad → clamp κ."""
+        cache = self.model.encoder.draw_cache
+        if cache is not None and self._steps_done % self.config.plan_refresh == 0:
+            cache.clear()
+        self._steps_done += 1
         samples = self._next_batch()
         self.optimizer.zero_grad()
         loss = self.model.loss(samples, rng=self.rng)
@@ -171,15 +208,27 @@ class Trainer:
 
     def train(self, steps: Optional[int] = None,
               log_every: int = 0) -> TrainingReport:
-        """Run the loop; returns losses and wall-clock time."""
+        """Run the loop; returns losses and wall-clock time.
+
+        The ``plan_refresh`` draw cache lives only for the duration of
+        the loop — it is detached before returning so post-training
+        inference (index builds, evaluation) never reuses frozen
+        training-time neighbour draws.
+        """
         steps = steps if steps is not None else self.config.steps
+        if self.config.plan_refresh > 1:
+            self.model.encoder.draw_cache = NeighborDrawCache()
         losses: List[float] = []
         start = time.perf_counter()
-        for step in range(steps):
-            losses.append(self.train_step())
-            if log_every and (step + 1) % log_every == 0:
-                print("step %4d  loss %.4f  |grad| %.3f" %
-                      (step + 1, losses[-1], self.optimizer.last_grad_norm))
+        try:
+            for step in range(steps):
+                losses.append(self.train_step())
+                if log_every and (step + 1) % log_every == 0:
+                    print("step %4d  loss %.4f  |grad| %.3f" %
+                          (step + 1, losses[-1],
+                           self.optimizer.last_grad_norm))
+        finally:
+            self.model.encoder.draw_cache = None
         elapsed = time.perf_counter() - start
         return TrainingReport(losses=losses, wall_seconds=elapsed, steps=steps,
                               samples_seen=steps * self.config.batch_size)

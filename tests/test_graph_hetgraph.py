@@ -122,6 +122,25 @@ class TestSampling:
                                     dst_type=NodeType.ITEM)[0].tolist())
         assert set(ids[0].tolist()) <= valid
 
+    def test_zero_weight_rows_are_masked_out(self):
+        tree = CategoryTree.balanced(1, 2)
+        num = {NodeType.QUERY: 2, NodeType.ITEM: 2, NodeType.AD: 0}
+        cats = {NodeType.QUERY: np.array([1, 1]),
+                NodeType.ITEM: np.array([1, 2]),
+                NodeType.AD: np.empty(0, dtype=np.int64)}
+        feats = {t: {"id": np.arange(num[t])} for t in (NodeType.QUERY,
+                                                        NodeType.ITEM)}
+        g = HetGraph(num, cats, feats, tree)
+        g.add_edges(NodeType.QUERY, EdgeType.CLICK, NodeType.ITEM,
+                    np.array([0, 1]), np.array([0, 1]),
+                    np.array([0.0, 1.0]))
+        ids, mask = g.sample_neighbors(np.random.default_rng(0),
+                                       NodeType.QUERY, np.array([0, 1]),
+                                       NodeType.ITEM, 3)
+        # query 0's only edge has weight 0 -> no samplable neighbour
+        assert mask[0].sum() == 0
+        assert mask[1].sum() == 3
+
     def test_weighted_sampling_prefers_heavy_edges(self, graph):
         rng = np.random.default_rng(2)
         ids, __ = graph.sample_neighbors(rng, NodeType.QUERY,
