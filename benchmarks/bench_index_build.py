@@ -1,0 +1,182 @@
+"""Offline inference throughput: full-graph plans and sharded index builds.
+
+PR 4 made *training* encode cheap; the offline half (``embed_all``,
+index builds) still walked the vocabulary in per-batch recursive plans.
+This bench quantifies the sharded offline→online plane stage by stage:
+
+- **embed_all nodes/sec** — full-graph-plan numpy path
+  (``method="plan"``) vs. the per-batch tensor reference
+  (``method="batch"``), summed over all node types at ``gcn_layers=2``;
+- **parity** — both paths on one shared full-graph plan must agree
+  bit-for-bit (the numpy compute phase mirrors the tensor ops exactly);
+- **index build + search wall-clock** — ``IndexSet.build`` and repeated
+  backend searches through ``"sharded"`` (exact inner) vs. the
+  monolithic ``"exact"`` backend, with a top-k equality check (sharded
+  merge semantics are exact by construction).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_index_build.py
+[--scale X] [--out PATH]``); results land in ``BENCH_index_build.json``
+at the repo root.  At the default scale the full-graph plan must clear
+3x embed_all throughput over the per-batch reference.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from common import bench_parser, write_json_out  # noqa: E402
+
+from repro.data import SimulatorConfig, SponsoredSearchSimulator
+from repro.graph import build_graph
+from repro.graph.schema import NodeType, Relation
+from repro.models import make_model
+from repro.retrieval import IndexSet
+
+GCN_LAYERS = 2
+EMBED_ROUNDS = 3
+SEARCH_ROUNDS = 4
+SEARCH_BATCH = 64
+NUM_SHARDS = 4
+TOP_K = 50
+
+
+def _build_model(graph):
+    return make_model("amcad", graph, num_subspaces=2, subspace_dim=4,
+                      seed=1, gcn_layers=GCN_LAYERS)
+
+
+def _measure_embed_all(model, rounds):
+    """Whole-vocabulary embedding throughput, both compute paths."""
+    graph = model.graph
+    types = [t for t in NodeType if graph.num_nodes[t] > 0]
+    out = {}
+    for method in ("batch", "plan"):
+        for t in types:   # warm caches/allocators once per path
+            model.embed_all(t, method=method)
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for t in types:
+                model.embed_all(t, method=method)
+        seconds = time.perf_counter() - start
+        nodes = rounds * sum(graph.num_nodes[t] for t in types)
+        out[method] = {
+            "rounds": rounds,
+            "nodes": nodes,
+            "seconds": seconds,
+            "nodes_per_sec": nodes / seconds,
+        }
+    out["speedup"] = (out["plan"]["nodes_per_sec"]
+                      / out["batch"]["nodes_per_sec"])
+
+    # parity on one shared plan: the numpy compute phase mirrors the
+    # tensor ops exactly, so the two paths must agree bit-for-bit
+    plan = model.build_full_plan(NodeType.QUERY)
+    via_plan = model.embed_all(NodeType.QUERY, method="plan", plan=plan)
+    via_batch = model.embed_all(NodeType.QUERY, method="batch", plan=plan)
+    out["bit_equal_on_shared_plan"] = bool(
+        all(np.array_equal(a, b) for a, b in zip(via_plan, via_batch)))
+    return out
+
+
+def _measure_index(model, rounds):
+    """Build + search wall-clock, sharded vs monolithic exact."""
+    relations = [Relation.Q2A, Relation.I2A]
+    out = {"relations": [r.value for r in relations],
+           "num_shards": NUM_SHARDS, "top_k": TOP_K}
+    sets = {}
+    for name, spec in (
+            ("exact", dict(backend="exact")),
+            ("sharded", dict(backend="sharded",
+                             backend_kwargs={"num_shards": NUM_SHARDS,
+                                             "parallelism": 2}))):
+        start = time.perf_counter()
+        index_set = IndexSet(model, top_k=TOP_K, **spec).build(relations)
+        build_seconds = time.perf_counter() - start
+        sets[name] = index_set
+
+        rng = np.random.default_rng(5)
+        n_src = index_set.spaces[Relation.Q2A].num_sources
+        batches = [rng.integers(0, n_src, size=SEARCH_BATCH)
+                   for _ in range(rounds)]
+        backend = index_set.backends[Relation.Q2A]
+        backend.search(batches[0], TOP_K)   # warm
+        start = time.perf_counter()
+        for batch in batches:
+            backend.search(batch, TOP_K)
+        search_seconds = time.perf_counter() - start
+        out[name] = {
+            "build_seconds": build_seconds,
+            "search_rounds": rounds,
+            "search_batch": SEARCH_BATCH,
+            "search_seconds": search_seconds,
+            "queries_per_sec": rounds * SEARCH_BATCH / search_seconds,
+        }
+    out["build_ratio"] = (out["exact"]["build_seconds"]
+                          / out["sharded"]["build_seconds"])
+    out["search_ratio"] = (out["exact"]["search_seconds"]
+                           / out["sharded"]["search_seconds"])
+    out["topk_identical"] = bool(all(
+        np.array_equal(sets["exact"][r].ids, sets["sharded"][r].ids)
+        for r in relations))
+    return out
+
+
+def main(argv=None) -> int:
+    parser = bench_parser(
+        "index_build",
+        "Full-graph-plan embed_all and sharded index build/search")
+    args = parser.parse_args(argv)
+
+    simulator = SponsoredSearchSimulator(SimulatorConfig(seed=3))
+    graph = build_graph(simulator.universe, simulator.simulate_days(1))
+    model = _build_model(graph)
+
+    embed_rounds = max(1, int(EMBED_ROUNDS * args.scale))
+    search_rounds = max(1, int(SEARCH_ROUNDS * args.scale))
+
+    embed_info = _measure_embed_all(model, embed_rounds)
+    index_info = _measure_index(model, search_rounds)
+
+    payload = {
+        "scale": args.scale,
+        "gcn_layers": GCN_LAYERS,
+        "graph": graph.stats(),
+        "embed_all": embed_info,
+        "index": index_info,
+    }
+    write_json_out(args.out, payload)
+
+    print("embed_all nodes/s batch %8.0f   plan %8.0f   (%.1fx, bit-equal "
+          "on shared plan: %s)"
+          % (embed_info["batch"]["nodes_per_sec"],
+             embed_info["plan"]["nodes_per_sec"], embed_info["speedup"],
+             embed_info["bit_equal_on_shared_plan"]))
+    print("index build    exact %7.2fs   sharded(%d) %7.2fs   (%.2fx)"
+          % (index_info["exact"]["build_seconds"], NUM_SHARDS,
+             index_info["sharded"]["build_seconds"],
+             index_info["build_ratio"]))
+    print("index search   exact %7.3fs   sharded(%d) %7.3fs   (%.2fx, "
+          "top-k identical: %s)"
+          % (index_info["exact"]["search_seconds"], NUM_SHARDS,
+             index_info["sharded"]["search_seconds"],
+             index_info["search_ratio"], index_info["topk_identical"]))
+
+    if not embed_info["bit_equal_on_shared_plan"]:
+        print("FAIL: plan and per-batch embed_all disagree on a shared plan")
+        return 1
+    if not index_info["topk_identical"]:
+        print("FAIL: sharded backend top-k differs from exact")
+        return 1
+    if args.scale >= 1.0 and embed_info["speedup"] < 3.0:
+        print("FAIL: full-graph-plan embed_all below 3x the per-batch "
+              "reference (%.1fx)" % embed_info["speedup"])
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

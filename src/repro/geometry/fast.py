@@ -1,6 +1,6 @@
 """Fused kernels for mixed-curvature geometry — inference *and* training.
 
-Two families live here:
+Three families live here:
 
 1. **Pure-numpy inference kernels.**  The MNN index builder (paper
    §IV-C-1) computes distances from every key node to every candidate
@@ -25,6 +25,19 @@ Two families live here:
    encoder-plane tests verify term by term.  The composed micro-op
    versions remain in :mod:`repro.geometry.stereographic` as the
    reference implementation.
+
+3. **No-tape forward mirrors** (:func:`expmap0_numpy`,
+   :func:`logmap0_numpy`, :func:`mobius_add_numpy`,
+   :func:`project_numpy`, :func:`matvec_numpy`).  Bit-exact numpy
+   replicas of the *forward* halves of the encoder operation chain —
+   same ε constants, same clip masks, same evaluation order — used by
+   the full-graph offline inference path
+   (``NodeEncoder.encode_from_plan_numpy``) where no gradient will
+   ever be requested and even tape-free ``Tensor`` wrapping is pure
+   overhead.  Because they mirror the tensor forwards operation by
+   operation, the offline ``embed_all``/index-build embeddings are
+   bit-comparable to what the training-side encoder produces on the
+   same :class:`~repro.models.plan.EncodePlan`.
 """
 
 from __future__ import annotations
@@ -250,6 +263,87 @@ def fused_dist(x, y, kappa) -> Tensor:
                 np.asarray(grad_k).reshape(kappa.shape))
 
     return Tensor._make(out_data, (x, y, kappa), backward)
+
+
+# -- no-tape forward mirrors of the encoder chain ---------------------------
+#
+# Each helper replicates the *forward* computation of its tensor twin
+# (`fused_expmap0`/`fused_logmap0`, `stereographic.mobius_add`/`project`)
+# operation by operation — identical ε constants, identical clip masks,
+# identical evaluation order — so outputs are bit-equal to the tensor
+# path on float64.  The encoder-plane tests hold them to exact parity.
+
+
+def _tan_k_forward(r: np.ndarray, kappa: float) -> np.ndarray:
+    """Forward half of :func:`_tan_k_vjp` (``tan_κ`` with fused ε/clips)."""
+    if kappa < -_KAPPA_ZERO_TOL:
+        s = np.sqrt(-kappa + _EPS)
+        return np.tanh(np.clip(r * s, -_TANH_ARG_MAX, _TANH_ARG_MAX)) / s
+    if kappa > _KAPPA_ZERO_TOL:
+        s = np.sqrt(kappa + _EPS)
+        return np.tan(np.clip(r * s, -_TAN_ARG_MAX, _TAN_ARG_MAX)) / s
+    return r + kappa * r ** 3 / 3.0
+
+
+def _artan_k_forward(r: np.ndarray, kappa: float) -> np.ndarray:
+    """Forward half of :func:`_artan_k_vjp` (``tan⁻¹_κ`` with fused ε/clips)."""
+    if kappa < -_KAPPA_ZERO_TOL:
+        s = np.sqrt(-kappa + _EPS)
+        return np.arctanh(np.clip(r * s, -_ARTANH_ARG_MAX,
+                                  _ARTANH_ARG_MAX)) / s
+    if kappa > _KAPPA_ZERO_TOL:
+        s = np.sqrt(kappa + _EPS)
+        return np.arctan(r * s) / s
+    return r - kappa * r ** 3 / 3.0
+
+
+def expmap0_numpy(v: np.ndarray, kappa: float) -> np.ndarray:
+    """No-tape mirror of :func:`fused_expmap0`: ``tan_κ(‖v‖)·v/‖v‖``."""
+    v = np.asarray(v, dtype=np.float64)
+    r = np.sqrt(np.sum(v * v, axis=-1, keepdims=True) + _EPS)
+    return v * (_tan_k_forward(r, kappa) / r)
+
+
+def logmap0_numpy(x: np.ndarray, kappa: float) -> np.ndarray:
+    """No-tape mirror of :func:`fused_logmap0`: ``tan⁻¹_κ(‖x‖)·x/‖x‖``."""
+    x = np.asarray(x, dtype=np.float64)
+    r = np.sqrt(np.sum(x * x, axis=-1, keepdims=True) + _EPS)
+    return x * (_artan_k_forward(r, kappa) / r)
+
+
+def mobius_add_numpy(x: np.ndarray, y: np.ndarray,
+                     kappa: float) -> np.ndarray:
+    """No-tape mirror of ``stereographic.mobius_add`` (same ε guard)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    xy = np.sum(x * y, axis=-1, keepdims=True)
+    x2 = np.sum(x * x, axis=-1, keepdims=True)
+    y2 = np.sum(y * y, axis=-1, keepdims=True)
+    numerator = ((1.0 - 2.0 * kappa * xy - kappa * y2) * x
+                 + (1.0 + kappa * x2) * y)
+    denominator = 1.0 - 2.0 * kappa * xy + kappa * kappa * x2 * y2
+    safe = np.where(np.abs(denominator) < _EPS, denominator + _EPS,
+                    denominator)
+    return numerator / safe
+
+
+def project_numpy(x: np.ndarray, kappa: float,
+                  boundary_eps: float = 4e-3) -> np.ndarray:
+    """No-tape mirror of ``stereographic.project`` (hyperbolic clip)."""
+    x = np.asarray(x, dtype=np.float64)
+    if not kappa < -_KAPPA_ZERO_TOL:
+        return x
+    scale = np.sqrt(abs(kappa) + _EPS)
+    max_norm = (1.0 - boundary_eps) / scale
+    x_norm = np.sqrt(np.sum(x * x, axis=-1, keepdims=True) + _EPS)
+    over = x_norm > max_norm
+    return np.where(over, x * (max_norm / x_norm), x)
+
+
+def matvec_numpy(weight: np.ndarray, x: np.ndarray,
+                 kappa: float) -> np.ndarray:
+    """No-tape Möbius matvec ``W ⊗κ x`` (fused log → matmul → exp)."""
+    return expmap0_numpy(logmap0_numpy(x, kappa) @ weight, kappa)
 
 
 def rowwise_dist(x: np.ndarray, y: np.ndarray, kappa: float) -> np.ndarray:

@@ -82,7 +82,13 @@ def load_model(path: PathLike, graph: HetGraph) -> AMCAD:
 
 
 def save_index_set(index_set: IndexSet, path: PathLike) -> pathlib.Path:
-    """Write all built inverted indices to one ``.npz`` file."""
+    """Write all built inverted indices to one ``.npz`` file.
+
+    Shard-aware: the backend registry name and per-relation target
+    shard bounds (sharded backends) ride along in the JSON header, so a
+    reloaded set knows the layout it was built over without the model
+    or backend objects.
+    """
     path = pathlib.Path(path)
     arrays: Dict[str, np.ndarray] = {}
     relations = []
@@ -92,6 +98,15 @@ def save_index_set(index_set: IndexSet, path: PathLike) -> pathlib.Path:
         arrays["ids_%s" % key] = index.ids
         arrays["dists_%s" % key] = index.distances
     header = {"format_version": _FORMAT_VERSION, "relations": relations}
+    backend_name = getattr(index_set, "backend_name", None)
+    if backend_name is not None:
+        header["backend"] = backend_name
+    shard_bounds = {
+        relation.value: [[int(a), int(b)] for a, b in bounds]
+        for relation, bounds in getattr(index_set, "shard_bounds",
+                                        {}).items()}
+    if shard_bounds:
+        header["shard_bounds"] = shard_bounds
     arrays["header"] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8)
     np.savez_compressed(path, **arrays)
@@ -102,11 +117,17 @@ class StoredIndexSet:
     """Read-only index set reloaded from disk.
 
     Provides the mapping interface the two-layer retriever uses
-    (``__getitem__`` / ``__contains__``) without needing the model.
+    (``__getitem__`` / ``__contains__``) without needing the model,
+    plus the shard metadata recorded at save time (``backend``,
+    ``shard_bounds``).
     """
 
-    def __init__(self, indices: Dict[Relation, InvertedIndex]):
+    def __init__(self, indices: Dict[Relation, InvertedIndex],
+                 backend: str = None,
+                 shard_bounds: Dict[Relation, list] = None):
         self.indices = indices
+        self.backend = backend
+        self.shard_bounds = dict(shard_bounds or {})
 
     def __getitem__(self, relation: Relation) -> InvertedIndex:
         return self.indices[relation]
@@ -131,4 +152,8 @@ def load_index_set(path: PathLike) -> StoredIndexSet:
                 ids=archive["ids_%s" % key],
                 distances=archive["dists_%s" % key],
                 build_seconds=0.0)
-    return StoredIndexSet(indices)
+    shard_bounds = {Relation(key): [(int(a), int(b)) for a, b in bounds]
+                    for key, bounds in header.get("shard_bounds",
+                                                  {}).items()}
+    return StoredIndexSet(indices, backend=header.get("backend"),
+                          shard_bounds=shard_bounds)

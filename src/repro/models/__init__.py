@@ -15,7 +15,12 @@ Metapath2Vec) are a separate skip-gram family in
 
 from repro.models.features import FeatureEmbedding, LRUFeatureRegistry
 from repro.models.encoder import COMPUTE_PLANES, NodeEncoder
-from repro.models.plan import EncodePlan, NeighborDrawCache, build_encode_plan
+from repro.models.plan import (
+    EncodePlan,
+    NeighborDrawCache,
+    build_encode_plan,
+    build_full_graph_plan,
+)
 from repro.models.scorer import EdgeScorer
 from repro.models.amcad import (
     AMCAD,
@@ -39,6 +44,7 @@ __all__ = [
     "EncodePlan",
     "NeighborDrawCache",
     "build_encode_plan",
+    "build_full_graph_plan",
     "EdgeScorer",
     "AMCAD",
     "AMCADConfig",

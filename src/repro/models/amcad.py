@@ -33,7 +33,11 @@ from repro.graph.hetgraph import HetGraph
 from repro.graph.sampling import SampleBatch, TrainingSample, as_sample_batches
 from repro.graph.schema import NodeType, Relation
 from repro.models.encoder import COMPUTE_PLANES, NodeEncoder
-from repro.models.plan import EncodePlan
+from repro.models.plan import (
+    EncodePlan,
+    NeighborDrawCache,
+    build_full_graph_plan,
+)
 from repro.models.scorer import EdgeScorer
 
 _SIGNATURE_KAPPA = {"H": -1.0, "E": 0.0, "S": 1.0, "U": None}
@@ -317,24 +321,94 @@ class AMCAD:
 
     # -- inference helpers ----------------------------------------------------------
 
-    def embed_all(self, node_type: NodeType, batch_size: int = 256,
-                  rng: Optional[np.random.Generator] = None) -> List[np.ndarray]:
-        """Materialise subspace embeddings for every node of a type.
+    def build_full_plan(self, node_type: NodeType,
+                        rng: Optional[np.random.Generator] = None,
+                        draw_cache: Optional[NeighborDrawCache] = None
+                        ) -> EncodePlan:
+        """One :class:`EncodePlan` covering every node of ``node_type``.
 
-        Runs under ``no_grad``; returns M arrays of shape ``(N, d)``.
+        The sampling phase of offline inference: per-level unique
+        frontiers over the full graph, draws captured once.  Passing a
+        :class:`NeighborDrawCache` reuses draws across refreshes
+        (GraphSAGE-style cached supports); the default is a fixed-seed
+        generator so repeated offline materialisations are
+        deterministic.
         """
         rng = rng or np.random.default_rng(12345)
+        return build_full_graph_plan(self.graph, node_type,
+                                     self.config.gcn_layers,
+                                     self.config.neighbor_samples, rng,
+                                     draw_cache=draw_cache)
+
+    def encode_all(self, node_type: NodeType,
+                   rng: Optional[np.random.Generator] = None,
+                   plan: Optional[EncodePlan] = None) -> List[np.ndarray]:
+        """Subspace embeddings for the whole vocabulary, plan-at-once.
+
+        Builds (or reuses) one full-graph plan and runs the no-tape
+        numpy compute phase — ``gcn_layers + 1`` fused vocabulary passes
+        instead of ``N / batch_size`` recursive mini-batches.  Returns M
+        arrays of shape ``(N, d_m)`` in vocabulary order; handed a
+        partial ``plan``, rows follow ``plan.indices`` instead (the
+        same contract as :meth:`encode` with a plan).
+        """
+        manifold = self.node_manifolds[node_type]
+        if self.graph.num_nodes[node_type] == 0:
+            return [np.zeros((0, factor.dim)) for factor in manifold.factors]
+        if plan is None:
+            plan = self.build_full_plan(node_type, rng)
+        points = self.encoder.encode_from_plan_numpy(plan)
+        out_map = plan.output_map()
+        if (out_map.size == points[0].shape[0]
+                and np.array_equal(out_map, np.arange(out_map.size))):
+            return points    # full-graph plan: already vocabulary order
+        return [p[out_map] for p in points]
+
+    def embed_all(self, node_type: NodeType, batch_size: int = 256,
+                  rng: Optional[np.random.Generator] = None,
+                  method: str = "plan",
+                  plan: Optional[EncodePlan] = None) -> List[np.ndarray]:
+        """Materialise subspace embeddings for every node of a type.
+
+        Returns M arrays of shape ``(N, d_m)``, ``d_m`` taken from the
+        node type's manifold factors.
+
+        ``method`` selects the compute path:
+
+        - ``"plan"`` (default) — one full-graph
+          :class:`~repro.models.plan.EncodePlan` + the no-tape numpy
+          compute phase (:meth:`encode_all`);
+        - ``"batch"`` — the per-batch reference: ``batch_size`` nodes at
+          a time through :meth:`encode` under ``no_grad``.
+
+        Seed policy: both paths default to a fresh
+        ``default_rng(12345)``, but their *draw sequences* differ (one
+        plan vs. many), so outputs only match when they share draws —
+        pass the same full-graph ``plan`` to both and the two paths are
+        bit-identical (the numpy compute phase mirrors the tensor ops
+        exactly; tolerance 0, asserted in tests/test_inference_plane.py).
+        """
+        if method == "plan":
+            return self.encode_all(node_type, rng=rng, plan=plan)
+        if method != "batch":
+            raise ValueError("embed_all method must be 'plan' or 'batch', "
+                             "got %r" % (method,))
+        rng = rng or np.random.default_rng(12345)
         n = self.graph.num_nodes[node_type]
-        chunks: List[List[np.ndarray]] = [[] for _ in range(len(
-            self.node_manifolds[node_type]))]
+        manifold = self.node_manifolds[node_type]
+        chunks: List[List[np.ndarray]] = [[] for _ in range(len(manifold))]
         with no_grad():
             for start in range(0, n, batch_size):
                 indices = np.arange(start, min(start + batch_size, n))
-                points = self.encode(node_type, indices, rng)
+                points = self.encode(node_type, indices, rng, plan=plan)
                 for m, point in enumerate(points):
                     chunks[m].append(point.data)
+        # empty vocabularies still get correctly-shaped outputs; the dim
+        # comes from the manifold factor, not config.subspace_dim, which
+        # can go stale (factors are the authority on per-subspace width)
         return [np.concatenate(chunk, axis=0) if chunk else
-                np.zeros((0, self.config.subspace_dim)) for chunk in chunks]
+                np.zeros((0, factor.dim))
+                for chunk, factor in zip(chunks, manifold.factors)]
 
     def parameters(self) -> Iterable[Parameter]:
         yield from self.encoder.parameters()

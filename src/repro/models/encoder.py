@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.autodiff import ops
 from repro.autodiff.tensor import Parameter, Tensor
+from repro.geometry import fast
 from repro.geometry.product import ProductManifold
 from repro.graph.hetgraph import HetGraph
 from repro.graph.schema import NodeType
@@ -321,6 +322,140 @@ class NodeEncoder:
                 reps[(l, t)] = self._gcn_update(t, l - 1, self_points,
                                                 neighbor_sums, uniq.size)
         return reps[(plan.layers, plan.node_type)]
+
+    # -- no-tape numpy compute phase (offline inference) -----------------------
+    #
+    # Bit-exact mirrors of the tensor compute phase built from the
+    # forward-only kernels in :mod:`repro.geometry.fast`.  The offline
+    # path (``embed_all``, index builds) never calls ``backward``, so
+    # even value-only Tensor wrapping is overhead; these run the same
+    # float64 operations in the same order on plain arrays, which keeps
+    # the offline embeddings bit-comparable to the training-side
+    # encoder on the same plan (asserted in tests/test_inference_plane.py).
+
+    def _inductive_numpy(self, node_type: NodeType,
+                         indices: np.ndarray) -> List[np.ndarray]:
+        tangents = self.embeddings[node_type].forward_numpy(
+            self.graph.features[node_type], indices)
+        manifold = self.manifolds[node_type]
+        out: List[np.ndarray] = []
+        for m, (factor, tangent) in enumerate(zip(manifold.factors, tangents)):
+            kappa = factor.kappa_value
+            point = fast.expmap0_numpy(tangent, kappa)
+            bias_point = fast.expmap0_numpy(
+                self.inductive_bias[(node_type, m)].data, kappa)
+            out.append(fast.project_numpy(
+                fast.mobius_add_numpy(point, bias_point, kappa), kappa))
+        return out
+
+    def _pool_numpy(self, neigh_tangents: List[np.ndarray], mask: np.ndarray,
+                    batch: int) -> List[np.ndarray]:
+        """Masked-mean pooling of pre-gathered ``(U·k, d)`` tangent rows."""
+        k = self.neighbor_samples
+        mask_t = mask[..., None]
+        denom = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        pooled: List[np.ndarray] = []
+        for m in range(self.num_subspaces):
+            tangent = neigh_tangents[m].reshape(batch, k, self.subspace_dim)
+            pooled.append(np.sum(tangent * mask_t, axis=1) / denom)
+        return pooled
+
+    def _gcn_update_numpy(self, node_type: NodeType, layer: int,
+                          self_tangents: List[np.ndarray],
+                          neighbor_sums: List[Optional[np.ndarray]],
+                          batch: int) -> List[np.ndarray]:
+        updated: List[np.ndarray] = []
+        for m in range(self.num_subspaces):
+            factor = self.manifolds[node_type].factors[m]
+            kappa = factor.kappa_value
+            agg = neighbor_sums[m]
+            if agg is None:
+                agg = np.zeros((batch, self.subspace_dim))
+            combined = np.concatenate([agg, self_tangents[m]], axis=-1)
+            weight = self.gcn_weights[(node_type, layer, m)].data
+            point = fast.expmap0_numpy(combined, kappa)
+            point = fast.matvec_numpy(weight, point, kappa)
+            bias_point = fast.expmap0_numpy(
+                self.gcn_bias[(node_type, layer, m)].data, kappa)
+            point = fast.mobius_add_numpy(point, bias_point, kappa)
+            point = fast.expmap0_numpy(
+                np.tanh(fast.logmap0_numpy(point, kappa)), kappa)
+            updated.append(fast.project_numpy(point, kappa))
+        return updated
+
+    def _fuse_numpy(self, node_type: NodeType,
+                    points: List[np.ndarray]) -> List[np.ndarray]:
+        manifold = self.manifolds[node_type]
+        tangents = [fast.logmap0_numpy(point, factor.kappa_value)
+                    for factor, point in zip(manifold.factors, points)]
+        fused = np.stack(tangents, axis=0).mean(axis=0)
+        out: List[np.ndarray] = []
+        for m, factor in enumerate(manifold.factors):
+            combined = np.concatenate([fused, tangents[m]], axis=-1)
+            weight = self.fusion_weights[(node_type, m)].data
+            point = fast.expmap0_numpy(combined @ weight, factor.kappa_value)
+            out.append(fast.project_numpy(point, factor.kappa_value))
+        return out
+
+    def encode_from_plan_numpy(self, plan: EncodePlan) -> List[np.ndarray]:
+        """No-tape compute phase over a plan: plain arrays end to end.
+
+        Structure mirrors :meth:`_encode_from_plan` exactly (each unique
+        frontier encoded once, bottom-up, rows gathered by indexing) but
+        never constructs a tensor, so a full-graph plan turns
+        ``embed_all`` into ``layers + 1`` fused vocabulary passes.
+        Output: one ``(top_frontier, subspace_dim)`` array per subspace,
+        in top-frontier (sorted-unique) order, with fusion applied when
+        the encoder uses it.
+        """
+        reps: Dict[tuple, List[np.ndarray]] = {}
+        tangents: Dict[tuple, List[np.ndarray]] = {}
+
+        def tangents_of(l: int, t: NodeType) -> List[np.ndarray]:
+            # logmap0 is row-wise, so tangents of a frontier are computed
+            # once and *gathered* — bit-equal to mapping gathered points,
+            # minus the duplicated work (the dedup idea applied to the
+            # tangent stage as well)
+            if (l, t) not in tangents:
+                manifold = self.manifolds[t]
+                tangents[(l, t)] = [
+                    fast.logmap0_numpy(p, factor.kappa_value)
+                    for factor, p in zip(manifold.factors, reps[(l, t)])]
+            return tangents[(l, t)]
+
+        for t in NodeType:
+            frontier = plan.levels[0].frontiers.get(t)
+            if frontier is not None:
+                reps[(0, t)] = self._inductive_numpy(t, frontier)
+        for l in range(1, plan.layers + 1):
+            level = plan.levels[l]
+            for t in NodeType:
+                uniq = level.frontiers.get(t)
+                if uniq is None:
+                    continue
+                self_tangents = [tan[level.self_maps[t]]
+                                 for tan in tangents_of(l - 1, t)]
+                neighbor_sums: List[Optional[np.ndarray]] = \
+                    [None] * self.num_subspaces
+                for block in level.blocks[t]:
+                    if block.gather is None:    # all-masked: contributes 0
+                        continue
+                    below = tangents_of(l - 1, block.dst_type)
+                    pooled = self._pool_numpy(
+                        [tan[block.gather] for tan in below], block.mask,
+                        uniq.size)
+                    for m, term in enumerate(pooled):
+                        if neighbor_sums[m] is None:
+                            neighbor_sums[m] = term
+                        else:
+                            neighbor_sums[m] = neighbor_sums[m] + term
+                reps[(l, t)] = self._gcn_update_numpy(t, l - 1, self_tangents,
+                                                      neighbor_sums,
+                                                      uniq.size)
+        points = reps[(plan.layers, plan.node_type)]
+        if self.use_fusion:
+            points = self._fuse_numpy(plan.node_type, points)
+        return points
 
     # -- stage 3: space fusion (Eq. 7-8) --------------------------------------------
 

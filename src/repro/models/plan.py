@@ -165,6 +165,36 @@ class NeighborDrawCache:
         return ids[indices], mask[indices]
 
 
+def build_full_graph_plan(graph: HetGraph, node_type: NodeType,
+                          layers: int, neighbor_samples: int,
+                          rng: np.random.Generator,
+                          draw_cache: Optional[NeighborDrawCache] = None
+                          ) -> EncodePlan:
+    """One :class:`EncodePlan` covering *every* node of ``node_type``.
+
+    The offline half of the system (``embed_all``, index builds) needs
+    representations for the whole vocabulary, not a mini-batch; walking
+    it in per-batch plans re-samples and re-encodes the shared
+    receptive field thousands of times.  A full-graph plan is built
+    once — its per-level frontiers are bounded by the total node counts,
+    so each GCN round becomes a handful of full-frontier passes
+    (GraphSAGE-style cached supports) instead of ``N / batch`` recursive
+    mini-batches.
+
+    Passing a :class:`NeighborDrawCache` makes the plan *reusable
+    across refreshes*: nodes keep their memoised draws until the caller
+    clears the cache, which is the scheduled-refresh policy the trainer
+    already applies to mini-batch plans (``training.plan_refresh``).
+    The top frontier is ``arange(N)``, so
+    :meth:`EncodePlan.output_map` is the identity and callers can use
+    the per-level representations as vocabulary-ordered tables.
+    """
+    n = int(graph.num_nodes[node_type])
+    return build_encode_plan(graph, node_type, np.arange(n, dtype=np.int64),
+                             layers, neighbor_samples, rng,
+                             draw_cache=draw_cache)
+
+
 def build_encode_plan(graph: HetGraph, node_type: NodeType,
                       indices: np.ndarray, layers: int, neighbor_samples: int,
                       rng: np.random.Generator,

@@ -6,6 +6,8 @@ Subcommands cover the full lifecycle:
   its artifacts (``--config config.json``, dotted ``--set`` overrides);
 - ``serve``  — reload a finished run's artifacts and answer retrieval
   requests with no model and no retraining;
+- ``index``  — rebuild (and save) the inverted indices from persisted
+  artifacts without retraining, e.g. to re-shard or switch backends;
 - ``eval``   — recompute the offline metrics from persisted artifacts;
 - ``models`` — list the registered model variant names.
 
@@ -15,6 +17,8 @@ Examples::
     python -m repro run --config c.json --set training.steps=500 \
         --set model.name=amcad_e --artifacts artifacts/euclidean
     python -m repro serve --artifacts artifacts/tiny --queries 3,14,15
+    python -m repro index --artifacts artifacts/tiny \
+        --set index.backend=sharded --set index.num_shards=4
     python -m repro eval --artifacts artifacts/tiny
 """
 
@@ -65,6 +69,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--k", type=int, default=None,
                        help="ads per request (default: config serving.k)")
     serve.add_argument("--seed", type=int, default=0)
+
+    index = sub.add_parser(
+        "index", help="rebuild (and save) indices from artifacts without "
+                      "retraining")
+    index.add_argument("--artifacts", metavar="DIR", required=True)
+    index.add_argument("--set", dest="overrides", action="append",
+                       default=[], metavar="SECTION.KEY=VALUE",
+                       help="override an index-time config value, e.g. "
+                            "index.backend=sharded index.num_shards=4")
 
     evaluate = sub.add_parser(
         "eval", help="recompute offline metrics from artifacts")
@@ -150,20 +163,43 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _apply_section_overrides(pipeline, overrides, section: str) -> None:
+    """Apply ``--set`` overrides restricted to one config section.
+
+    The artifact-based subcommands only accept overrides of the section
+    they re-run: everything else (data, graph, model geometry, training)
+    is baked into the persisted model and indices, so changing it would
+    silently disagree with the artifacts.
+    """
+    if not overrides:
+        return
+    foreign = [a for a in overrides
+               if not a.strip().startswith(section + ".")]
+    if foreign:
+        raise SystemExit("%s only accepts %s.* overrides (the artifacts "
+                         "were produced with the persisted config); got %s"
+                         % (section, section,
+                            ", ".join(map(repr, foreign))))
+    pipeline.config = pipeline.ctx.config = \
+        pipeline.config.with_overrides(overrides)
+
+
+def _cmd_index(args) -> int:
+    pipeline = Pipeline.from_artifacts(args.artifacts)
+    # re-sharding/re-backending is exactly the model-free refresh this
+    # command exists for
+    _apply_section_overrides(pipeline, args.overrides, "index")
+    info = pipeline.rebuild_indices()
+    print(json.dumps(info, indent=2, sort_keys=True))
+    if pipeline.store is not None:
+        print("artifacts: %s (%s)" % (pipeline.store.root,
+                                      ", ".join(pipeline.store.files())))
+    return 0
+
+
 def _cmd_eval(args) -> int:
     pipeline = Pipeline.from_artifacts(args.artifacts)
-    if args.overrides:
-        # only the eval section may change: the persisted model and
-        # indices are only meaningful against the dataset, graph and
-        # geometry they were produced with
-        not_eval = [a for a in args.overrides
-                    if not a.strip().startswith("eval.")]
-        if not_eval:
-            raise SystemExit("eval only accepts eval.* overrides (the "
-                             "artifacts were produced with the persisted "
-                             "config); got %s" % ", ".join(map(repr, not_eval)))
-        pipeline.config = pipeline.ctx.config = \
-            pipeline.config.with_overrides(args.overrides)
+    _apply_section_overrides(pipeline, args.overrides, "eval")
     info = pipeline.evaluate()
     print(json.dumps(info, indent=2, sort_keys=True))
     return 0
@@ -182,8 +218,8 @@ def _cmd_models(_args) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handler = {"run": _cmd_run, "serve": _cmd_serve, "eval": _cmd_eval,
-               "models": _cmd_models}[args.command]
+    handler = {"run": _cmd_run, "serve": _cmd_serve, "index": _cmd_index,
+               "eval": _cmd_eval, "models": _cmd_models}[args.command]
     return handler(args)
 
 

@@ -177,6 +177,14 @@ class IndexConfig:
     batch_size: int = 256
     #: relations to build (``"q2q"`` … ``"i2a"``); ``None`` = all six
     relations: Optional[List[str]] = None
+    #: target-space shards per index (``backend="sharded"`` only; also
+    #: the serving engine's micro-batch fan-out width)
+    num_shards: int = 2
+    #: backend each shard delegates to (``"exact"`` or ``"pq"``)
+    inner_backend: str = "exact"
+    #: thread-pool width for shard builds/searches and for the serving
+    #: engine's shard fan-out (1 = sequential)
+    shard_parallelism: int = 1
 
     def __post_init__(self):
         if self.top_k < 1:
@@ -185,6 +193,18 @@ class IndexConfig:
             raise ValueError("index.backend %r is not registered; choose "
                              "one of: %s"
                              % (self.backend, ", ".join(sorted(BACKENDS))))
+        if self.num_shards < 1:
+            raise ValueError("index.num_shards must be >= 1, got %d"
+                             % self.num_shards)
+        if self.shard_parallelism < 1:
+            raise ValueError("index.shard_parallelism must be >= 1, got %d"
+                             % self.shard_parallelism)
+        if (self.inner_backend == "sharded"
+                or self.inner_backend not in BACKENDS):
+            inner = sorted(set(BACKENDS) - {"sharded"})
+            raise ValueError("index.inner_backend must be one of: %s; "
+                             "got %r" % (", ".join(inner),
+                                         self.inner_backend))
         if self.relations is not None:
             valid = {r.value for r in Relation}
             unknown = sorted(set(self.relations) - valid)
@@ -197,6 +217,25 @@ class IndexConfig:
         if self.relations is None:
             return None
         return [Relation(value) for value in self.relations]
+
+    def resolved_backend_kwargs(self) -> Dict[str, Any]:
+        """Constructor kwargs for the configured backend.
+
+        For ``backend="sharded"`` the shard keys are folded in
+        (explicit ``backend_kwargs`` entries win, so power users can
+        still set e.g. ``inner_kwargs`` or override the shard count).
+        """
+        kwargs = dict(self.backend_kwargs)
+        if self.backend == "sharded":
+            kwargs.setdefault("num_shards", self.num_shards)
+            kwargs.setdefault("inner_backend", self.inner_backend)
+            kwargs.setdefault("parallelism", self.shard_parallelism)
+        return kwargs
+
+    @property
+    def serving_shards(self) -> int:
+        """Micro-batch fan-out width for the serving engine."""
+        return self.num_shards if self.backend == "sharded" else 1
 
 
 @dataclasses.dataclass

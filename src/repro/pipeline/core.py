@@ -123,9 +123,12 @@ class Pipeline:
     def engine(self) -> ServingEngine:
         if self.ctx.engine is None:
             serving = self.config.serving
+            index_cfg = self.config.index
             self.ctx.engine = ServingEngine(
                 self.retriever, max_batch_size=serving.max_batch_size,
-                cache_size=serving.cache_size)
+                cache_size=serving.cache_size,
+                num_shards=index_cfg.serving_shards,
+                shard_parallelism=index_cfg.shard_parallelism)
         return self.ctx.engine
 
     def serve(self, queries: Sequence[int],
@@ -134,6 +137,56 @@ class Pipeline:
         """Answer a request stream through the micro-batching engine."""
         return self.engine.serve(queries, preclicks,
                                  k=k if k is not None else self.config.serving.k)
+
+    # -- artifact-restored stage reruns (CLI ``index`` / ``eval``) -----------
+
+    def _restore_model_context(self, purpose: str) -> None:
+        """Rebuild data/graphs from the config and reload checkpoints.
+
+        Shared preamble of the artifact-based stage reruns: the dataset
+        and graphs are deterministic functions of the config, the model
+        (and the A/B control model, when persisted) comes from the
+        checkpoint files.
+        """
+        from repro.pipeline.stages import DataStage, GraphStage
+        DataStage().run(self.ctx)
+        GraphStage().run(self.ctx)
+        if self.ctx.model is None:
+            if self.store is None or not self.store.has(ArtifactStore.MODEL):
+                raise FileNotFoundError(
+                    "no model checkpoint to %s — run the pipeline with an "
+                    "artifact directory first" % purpose)
+            from repro.io import load_model
+            self.ctx.model = load_model(self.store.path(ArtifactStore.MODEL),
+                                        self.ctx.train_graph)
+        if (self.ctx.control_model is None and self.store is not None
+                and self.store.has(ArtifactStore.CONTROL_MODEL)):
+            from repro.io import load_model
+            self.ctx.control_model = load_model(
+                self.store.path(ArtifactStore.CONTROL_MODEL),
+                self.ctx.train_graph)
+
+    def rebuild_indices(self) -> Dict[str, Any]:
+        """Re-run the index stage from persisted artifacts — no retraining.
+
+        Rebuilds the (deterministic) dataset and graphs from the
+        config, reloads the model checkpoint (and the A/B control
+        checkpoint when present), runs :class:`IndexStage` through the
+        currently-configured backend, and persists the fresh indices
+        back into the artifact store alongside the updated config.
+        This is the offline refresh step of the paper's lifecycle: new
+        index layout (e.g. ``index.backend="sharded"``), same model.
+        """
+        from repro.pipeline.stages import IndexStage
+        self._restore_model_context("rebuild indices from")
+        info = jsonify(IndexStage().run(self.ctx))
+        # the new indices invalidate any retriever/engine built over the
+        # old ones; they come back lazily through the properties
+        self.ctx.retriever = None
+        self.ctx.engine = None
+        if self.store is not None:
+            self.store.save_config(self.config)
+        return info
 
     # -- standalone re-evaluation (CLI ``eval``) -----------------------------
 
@@ -145,17 +198,7 @@ class Pipeline:
         loaded when this pipeline came from :meth:`from_artifacts` —
         and runs :class:`EvalStage`.
         """
-        from repro.pipeline.stages import DataStage, GraphStage
-        DataStage().run(self.ctx)
-        GraphStage().run(self.ctx)
-        if self.ctx.model is None:
-            if self.store is None or not self.store.has(ArtifactStore.MODEL):
-                raise FileNotFoundError(
-                    "no model checkpoint to evaluate — run the pipeline "
-                    "with an artifact directory first")
-            from repro.io import load_model
-            self.ctx.model = load_model(self.store.path(ArtifactStore.MODEL),
-                                        self.ctx.train_graph)
+        self._restore_model_context("evaluate")
         if self.ctx.index_set is None:
             if self.store is None or not self.store.has(ArtifactStore.INDICES):
                 raise FileNotFoundError("no indices to evaluate against")

@@ -221,7 +221,7 @@ class IndexStage(Stage):
                     ctx.store.path(ArtifactStore.CONTROL_INDICES))
         build_seconds = {rel.value: ix.build_seconds
                          for rel, ix in ctx.index_set.indices.items()}
-        return {
+        info = {
             "backend": cfg.backend,
             "top_k": cfg.top_k,
             "relations": sorted(build_seconds),
@@ -231,13 +231,21 @@ class IndexStage(Stage):
                        % (len(build_seconds), cfg.backend, cfg.top_k,
                           ctx.index_set.total_build_seconds),
         }
+        if cfg.backend == "sharded":
+            info["num_shards"] = cfg.num_shards
+            info["inner_backend"] = cfg.inner_backend
+            info["shard_parallelism"] = cfg.shard_parallelism
+            info["summary"] += " [%d shards x %s]" % (cfg.num_shards,
+                                                      cfg.inner_backend)
+        return info
 
     @staticmethod
     def _build(ctx: PipelineContext, model, relations):
         cfg = ctx.config.index
         return IndexSet(model, top_k=cfg.top_k, num_workers=cfg.num_workers,
                         batch_size=cfg.batch_size, backend=cfg.backend,
-                        backend_kwargs=cfg.backend_kwargs).build(relations)
+                        backend_kwargs=cfg.resolved_backend_kwargs()
+                        ).build(relations)
 
 
 class ServeStage(Stage):
@@ -249,13 +257,17 @@ class ServeStage(Stage):
         cfg = ctx.config.serving
         if not cfg.enabled:
             return {"enabled": False, "summary": "disabled"}
+        index_cfg = ctx.config.index
         ctx.retriever = ctx.make_retriever(ctx.index_set)
-        ctx.engine = ServingEngine(ctx.retriever,
-                                   max_batch_size=cfg.max_batch_size,
-                                   cache_size=cfg.cache_size)
+        ctx.engine = ServingEngine(
+            ctx.retriever, max_batch_size=cfg.max_batch_size,
+            cache_size=cfg.cache_size,
+            num_shards=index_cfg.serving_shards,
+            shard_parallelism=index_cfg.shard_parallelism)
         info: Dict[str, Any] = {"enabled": True,
                                 "max_batch_size": cfg.max_batch_size,
-                                "cache_size": cfg.cache_size}
+                                "cache_size": cfg.cache_size,
+                                "num_shards": index_cfg.serving_shards}
         if cfg.measure_requests < 1:
             info["summary"] = "engine up (service time not measured)"
             return info

@@ -11,7 +11,9 @@ Reproduces the deployment half of AMCAD (paper §IV-C, Fig. 6):
   into a bounded top-k merge;
 - :mod:`repro.retrieval.backend` — the :class:`SearchBackend` seam all
   search strategies plug into (:class:`ExactBackend` wrapping MNN,
-  :class:`PQBackend` wrapping product quantisation);
+  :class:`PQBackend` wrapping product quantisation,
+  :class:`ShardedBackend` partitioning the target space over per-shard
+  inner backends with an exact top-k merge);
 - :mod:`repro.retrieval.index` — the six inverted indices
   (Q2Q/Q2I/I2Q/I2I/Q2A/I2A) built offline through a backend factory,
   with ``save``/``load`` persistence for model-free serving;
@@ -30,6 +32,7 @@ from repro.retrieval.backend import (
     ExactBackend,
     PQBackend,
     SearchBackend,
+    ShardedBackend,
     make_backend,
     resolve_backend_factory,
 )
@@ -47,6 +50,7 @@ __all__ = [
     "SearchBackend",
     "ExactBackend",
     "PQBackend",
+    "ShardedBackend",
     "make_backend",
     "resolve_backend_factory",
     "RelationSpace",

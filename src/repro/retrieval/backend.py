@@ -24,7 +24,8 @@ backend the caller selects.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Optional, Tuple, Type, Union
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Tuple, Type, Union
 
 import numpy as np
 
@@ -59,6 +60,19 @@ class SearchBackend(abc.ABC):
         if not self.is_built:
             raise RuntimeError("%s: call build(space) before search()"
                                % type(self).__name__)
+
+    @staticmethod
+    def _clamp_k(space: RelationSpace, k: int,
+                 exclude_self: bool) -> Tuple[int, bool]:
+        """Shared search preamble: effective ``k`` and self-drop flag.
+
+        ``k`` shrinks by one reservable slot when the caller asked to
+        exclude the source row; the self row only actually exists (and
+        is dropped) for same-type relations.
+        """
+        same = exclude_self and (space.relation.source_type
+                                 == space.relation.target_type)
+        return min(k, space.num_targets - (1 if exclude_self else 0)), same
 
 
 class ExactBackend(SearchBackend):
@@ -133,9 +147,7 @@ class PQBackend(SearchBackend):
         self._require_built()
         src_indices = np.asarray(src_indices, dtype=np.int64)
         space = self.space
-        same = exclude_self and (space.relation.source_type
-                                 == space.relation.target_type)
-        k = min(k, space.num_targets - (1 if exclude_self else 0))
+        k, same = self._clamp_k(space, k, exclude_self)
         fetch = min(k + 1, space.num_targets) if same else k
         ids, dists = self.index.search(self._src_vectors[src_indices], fetch)
         if same:
@@ -147,11 +159,144 @@ class PQBackend(SearchBackend):
         return ids[:, :k], dists[:, :k]
 
 
+class ShardedBackend(SearchBackend):
+    """Shard-partitioned search delegating to per-shard inner backends.
+
+    The target space is split into ``num_shards`` contiguous shards;
+    each shard is a :meth:`RelationSpace.slice_targets` view handed to
+    its own inner backend (``"exact"`` or ``"pq"`` from
+    :data:`BACKENDS`).  Shards build independently — optionally on a
+    thread pool (``parallelism``) — and a search fans out to every
+    shard, maps shard-local ids back to global ids, and merges the
+    per-shard top-k into a global top-k.
+
+    Merge semantics: every shard returns its true local top-k (one
+    extra candidate when the self row must be dropped, since the self
+    row lives in exactly one shard) and the global top-k is taken over
+    the union.  Whenever the inner scores are metric-true — the
+    ``"exact"`` inner backend — this merge is *exact*: results are
+    bit-identical to the monolithic :class:`ExactBackend`.  With
+    ``"pq"`` each shard trains its own codebooks on its slice, so ADC
+    scores are only calibrated within a shard; merging them globally is
+    the usual sharded-ANN approximation and can skew the merged top-k
+    toward tightly-quantising shards (recall can differ from a
+    monolithic :class:`PQBackend` — the exactness claim does not extend
+    to quantised inners).
+
+    ``shard_bounds`` (the ``[start, stop)`` target ranges) is exposed
+    so index persistence can record the shard layout.
+    """
+
+    def __init__(self, num_shards: int = 2, inner_backend: str = "exact",
+                 inner_kwargs: Optional[dict] = None, parallelism: int = 1):
+        if int(num_shards) < 1:
+            raise ValueError("num_shards must be >= 1, got %d"
+                             % int(num_shards))
+        if inner_backend == "sharded":
+            raise ValueError("inner_backend cannot itself be 'sharded'")
+        if inner_backend not in BACKENDS:
+            raise ValueError("unknown inner backend %r (have: %s)"
+                             % (inner_backend,
+                                ", ".join(sorted(BACKENDS))))
+        self.num_shards = int(num_shards)
+        self.inner_backend = inner_backend
+        self.inner_kwargs = dict(inner_kwargs or {})
+        self.parallelism = max(int(parallelism), 1)
+        self.space: Optional[RelationSpace] = None
+        self.shards: List[SearchBackend] = []
+        self.shard_bounds: List[Tuple[int, int]] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def _pool(self) -> ThreadPoolExecutor:
+        # lazy and persistent: search() is the hot path (every index
+        # chunk, every serving key expansion), so the pool must not be
+        # rebuilt per call
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.parallelism,
+                thread_name_prefix="shard-search")
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the shard thread pool (no-op when unused)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        executor = getattr(self, "_executor", None)
+        if executor is not None:
+            executor.shutdown(wait=False)
+
+    def build(self, space: RelationSpace) -> "ShardedBackend":
+        self.space = space
+        n = space.num_targets
+        shards = min(self.num_shards, max(n, 1))
+        edges = np.linspace(0, n, shards + 1).astype(np.int64)
+        self.shard_bounds = [(int(a), int(b))
+                             for a, b in zip(edges[:-1], edges[1:])]
+
+        def build_one(bounds: Tuple[int, int]) -> SearchBackend:
+            lo, hi = bounds
+            inner = make_backend(self.inner_backend, **self.inner_kwargs)
+            return inner.build(space.slice_targets(lo, hi))
+
+        if self.parallelism > 1 and len(self.shard_bounds) > 1:
+            self.shards = list(self._pool().map(build_one,
+                                                self.shard_bounds))
+        else:
+            self.shards = [build_one(b) for b in self.shard_bounds]
+        return self
+
+    def search(self, src_indices: np.ndarray, k: int,
+               exclude_self: bool = False
+               ) -> Tuple[np.ndarray, np.ndarray]:
+        self._require_built()
+        src_indices = np.asarray(src_indices, dtype=np.int64)
+        space = self.space
+        k, same = self._clamp_k(space, k, exclude_self)
+        if k < 1:
+            return (np.zeros((src_indices.size, 0), dtype=np.int64),
+                    np.zeros((src_indices.size, 0)))
+
+        def search_one(item) -> Tuple[np.ndarray, np.ndarray]:
+            (lo, hi), backend = item
+            width = hi - lo
+            # one extra candidate when the (single) self row may be
+            # dropped after the merge
+            fetch = min(k + 1, width) if same else min(k, width)
+            if fetch < 1:
+                return (np.zeros((src_indices.size, 0), dtype=np.int64),
+                        np.zeros((src_indices.size, 0)))
+            ids, dists = backend.search(src_indices, fetch)
+            return ids + lo, dists
+
+        items = list(zip(self.shard_bounds, self.shards))
+        if self.parallelism > 1 and len(items) > 1:
+            pieces = list(self._pool().map(search_one, items))
+        else:
+            pieces = [search_one(item) for item in items]
+
+        all_ids = np.concatenate([p[0] for p in pieces], axis=1)
+        all_dists = np.concatenate([p[1] for p in pieces], axis=1)
+        if same:
+            all_dists = np.where(all_ids == src_indices[:, None], np.inf,
+                                 all_dists)
+        if k < all_dists.shape[1]:
+            keep = np.argpartition(all_dists, kth=k - 1, axis=1)[:, :k]
+            all_ids = np.take_along_axis(all_ids, keep, axis=1)
+            all_dists = np.take_along_axis(all_dists, keep, axis=1)
+        order = np.argsort(all_dists, axis=1, kind="stable")
+        return (np.take_along_axis(all_ids, order, axis=1),
+                np.take_along_axis(all_dists, order, axis=1))
+
+
 #: Registry of selectable backends, keyed by the name ``IndexSet`` and
 #: the benchmarks accept ("exact", "pq", ...).
 BACKENDS: Dict[str, Type[SearchBackend]] = {
     "exact": ExactBackend,
     "pq": PQBackend,
+    "sharded": ShardedBackend,
 }
 
 BackendSpec = Union[str, Type[SearchBackend], Callable[[], SearchBackend]]

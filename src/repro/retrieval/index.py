@@ -95,26 +95,49 @@ class IndexSet:
         if backend == "exact" or (isinstance(backend, type)
                                   and issubclass(backend, ExactBackend)):
             kwargs.setdefault("num_workers", self.num_workers)
+        elif backend == "sharded":
+            # exact inner shards keep the configured MNN worker width —
+            # switching "exact" -> "sharded" must not silently drop it
+            if kwargs.get("inner_backend", "exact") == "exact":
+                inner_kwargs = dict(kwargs.get("inner_kwargs") or {})
+                inner_kwargs.setdefault("num_workers", self.num_workers)
+                kwargs["inner_kwargs"] = inner_kwargs
         self.backend_factory = resolve_backend_factory(backend, **kwargs)
+        #: registry name the set was built through (``None`` for
+        #: class/factory specs) — persisted by :meth:`save`
+        self.backend_name: Optional[str] = (backend
+                                            if isinstance(backend, str)
+                                            else None)
         self.indices: Dict[Relation, InvertedIndex] = {}
         self.spaces: Dict[Relation, RelationSpace] = {}
         self.backends: Dict[Relation, SearchBackend] = {}
+        #: per-relation target-shard ``[start, stop)`` bounds (sharded
+        #: backends only); restored by :meth:`load`
+        self.shard_bounds: Dict[Relation, list] = {}
 
     def build(self, relations: Optional[Sequence[Relation]] = None
               ) -> "IndexSet":
-        """Construct indices for the given relations (default: all six)."""
+        """Construct indices for the given relations (default: all six).
+
+        The relation-independent full-vocabulary encode is shared
+        across the relations through one per-build cache — each node
+        type is encoded once, not once per relation endpoint.
+        """
         relations = list(relations or (LAYER_ONE + LAYER_TWO))
+        encode_cache: dict = {}
         for relation in relations:
-            self.build_one(relation)
+            self.build_one(relation, encode_cache=encode_cache)
         return self
 
-    def build_one(self, relation: Relation) -> InvertedIndex:
+    def build_one(self, relation: Relation,
+                  encode_cache: Optional[dict] = None) -> InvertedIndex:
         """Build a single inverted index through the configured backend."""
         if self.model is None:
             raise RuntimeError("this IndexSet was loaded from disk and has "
                                "no model to build from")
         start = time.perf_counter()
-        space = RelationSpace.from_model(self.model, relation)
+        space = RelationSpace.from_model(self.model, relation,
+                                         encode_cache=encode_cache)
         backend = self.backend_factory().build(space)
         same_type = relation.source_type == relation.target_type
         n_src = space.num_sources
@@ -133,6 +156,10 @@ class IndexSet:
         self.indices[relation] = index
         self.spaces[relation] = space
         self.backends[relation] = backend
+        bounds = getattr(backend, "shard_bounds", None)
+        if bounds:
+            self.shard_bounds[relation] = [(int(a), int(b))
+                                           for a, b in bounds]
         return index
 
     # -- persistence ---------------------------------------------------------
@@ -148,12 +175,17 @@ class IndexSet:
 
         The result serves lookups (and therefore the two-layer
         retriever) without any model object in scope; only
-        :meth:`build` is unavailable.
+        :meth:`build` is unavailable.  Shard-aware: the backend name
+        and per-relation shard bounds recorded by :meth:`save` are
+        restored, so a serving process knows the shard layout its
+        indices were built over.
         """
         from repro.io import load_index_set  # local: io imports this module
         stored = load_index_set(path)
-        index_set = cls(model=None)
+        index_set = cls(model=None, backend=stored.backend or "exact")
+        index_set.backend_name = stored.backend
         index_set.indices = dict(stored.indices)
+        index_set.shard_bounds = dict(stored.shard_bounds)
         if index_set.indices:
             index_set.top_k = max(ix.ids.shape[1]
                                   for ix in index_set.indices.values())

@@ -25,7 +25,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.autodiff.tensor import no_grad
+from repro.autodiff.tensor import Tensor, no_grad
 from repro.geometry.fast import pairwise_dist, rowwise_dist
 from repro.graph.schema import NodeType, Relation
 
@@ -67,22 +67,47 @@ class RelationSpace:
 
     @classmethod
     def from_model(cls, model, relation: Relation,
-                   batch_size: int = 512) -> "RelationSpace":
-        """Extract projected embeddings + weights from a trained model."""
+                   batch_size: int = 512,
+                   encode_cache: Optional[dict] = None) -> "RelationSpace":
+        """Extract projected embeddings + weights from a trained model.
+
+        ``encode_cache`` (``node_type -> encoded subspace arrays``)
+        memoises the relation-independent encode across calls — the
+        per-relation projection still runs, but a caller building many
+        relation spaces from one model (``IndexSet.build``) encodes
+        each node type once instead of once per relation endpoint.
+        """
         src_type, dst_type = relation.source_type, relation.target_type
         with no_grad():
-            src_proj, src_w = _project_all(model, relation, src_type, batch_size)
+            src_proj, src_w = _project_all(model, relation, src_type,
+                                           batch_size, encode_cache)
             if src_type == dst_type:
                 dst_proj, dst_w = src_proj, src_w
             else:
                 dst_proj, dst_w = _project_all(model, relation, dst_type,
-                                               batch_size)
+                                               batch_size, encode_cache)
             manifold = model.scorer.edge_manifolds[
                 model.scorer._edge_key(relation)]
             kappas = manifold.kappas()
         return cls(relation=relation, src_embeddings=src_proj,
                    dst_embeddings=dst_proj, src_weights=src_w,
                    dst_weights=dst_w, kappas=kappas)
+
+    def slice_targets(self, start: int, stop: int) -> "RelationSpace":
+        """A view restricted to target rows ``[start, stop)``.
+
+        Sources, weights-per-source and curvatures are shared (numpy
+        views, no copies); only the target-side arrays are sliced.
+        This is the unit of work a sharded backend hands to its inner
+        per-shard backends.
+        """
+        return RelationSpace(
+            relation=self.relation,
+            src_embeddings=self.src_embeddings,
+            dst_embeddings=[e[start:stop] for e in self.dst_embeddings],
+            src_weights=self.src_weights,
+            dst_weights=self.dst_weights[start:stop],
+            kappas=self.kappas)
 
     def pair_distance(self, src_indices: np.ndarray,
                       dst_indices: np.ndarray) -> np.ndarray:
@@ -100,11 +125,35 @@ class RelationSpace:
 
 
 def _project_all(model, relation: Relation, node_type: NodeType,
-                 batch_size: int) -> Tuple[List[np.ndarray], np.ndarray]:
-    """Projected subspace embeddings + attention weights for all nodes."""
+                 batch_size: int,
+                 encode_cache: Optional[dict] = None
+                 ) -> Tuple[List[np.ndarray], np.ndarray]:
+    """Projected subspace embeddings + attention weights for all nodes.
+
+    Models exposing ``encode_all`` (AMCAD) are encoded through one
+    full-graph :class:`~repro.models.plan.EncodePlan` — a handful of
+    fused vocabulary passes — and projected in a single vectorised
+    call; the per-batch loop remains as the fallback for model objects
+    without the full-graph path.  The encode is deterministic (fixed
+    seed policy), so ``encode_cache`` can safely share it across
+    relations.
+    """
     graph = model.graph
     n = graph.num_nodes[node_type]
     rng = np.random.default_rng(2024)
+    if n == 0:
+        return [np.zeros((0, 1))], np.zeros((0, 1))
+    if hasattr(model, "encode_all"):
+        if encode_cache is not None and node_type in encode_cache:
+            encoded = encode_cache[node_type]
+        else:
+            encoded = model.encode_all(node_type, rng)
+            if encode_cache is not None:
+                encode_cache[node_type] = encoded
+        points = [Tensor(p) for p in encoded]
+        projected = model.scorer.project(relation, node_type, points)
+        weights = model.scorer.node_weights(relation, node_type, projected)
+        return [t.data for t in projected], weights.data
     proj_chunks: Optional[List[List[np.ndarray]]] = None
     weight_chunks: List[np.ndarray] = []
     for start in range(0, n, batch_size):
@@ -117,9 +166,6 @@ def _project_all(model, relation: Relation, node_type: NodeType,
         for m, tensor in enumerate(projected):
             proj_chunks[m].append(tensor.data)
         weight_chunks.append(weights.data)
-    if proj_chunks is None:
-        empty = [np.zeros((0, 1))]
-        return empty, np.zeros((0, 1))
     return ([np.concatenate(chunk, axis=0) for chunk in proj_chunks],
             np.concatenate(weight_chunks, axis=0))
 

@@ -14,14 +14,23 @@ iGraph engine.  :class:`ServingEngine` is the laptop-scale analogue:
 - **per-worker timing** — each micro-batch is timed and attributed to
   the least-loaded worker of a simulated fleet, producing the measured
   *batched* service times the Erlang-C
-  :class:`~repro.serving.simulator.ServingSimulator` consumes.
+  :class:`~repro.serving.simulator.ServingSimulator` consumes;
+- **shard-parallel search** — with ``num_shards > 1`` each micro-batch
+  is fanned out across shard slices (the serving analogue of the
+  sharded index fleet), each slice is timed as one unit of fleet work,
+  and the batch's *wall* latency is the slowest shard — so the measured
+  service times reflect a sharded fleet rather than one monolithic
+  worker.  ``shard_parallelism > 1`` additionally runs the slices on a
+  real thread pool.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -70,9 +79,13 @@ class EngineStats:
     batches: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
-    #: Busy seconds per simulated worker (least-loaded dispatch).
+    #: Busy seconds per simulated worker (least-loaded dispatch).  With
+    #: sharding every shard slice is one unit of fleet work.
     worker_busy_seconds: List[float] = dataclasses.field(default_factory=list)
     batch_sizes: List[int] = dataclasses.field(default_factory=list)
+    #: Wall latency per micro-batch: the slowest shard slice when the
+    #: batch fans out, the full batch time otherwise.
+    batch_wall_seconds: List[float] = dataclasses.field(default_factory=list)
 
     @property
     def total_busy_seconds(self) -> float:
@@ -98,6 +111,13 @@ class EngineStats:
         busy = self.total_busy_seconds
         return self.requests / busy if busy > 0 else 0.0
 
+    @property
+    def mean_batch_wall_seconds(self) -> float:
+        """Mean micro-batch wall latency under shard-parallel serving."""
+        if not self.batch_wall_seconds:
+            return 0.0
+        return float(np.mean(self.batch_wall_seconds))
+
 
 def _signature(query: int, preclicks: Sequence[int]) -> Tuple:
     return (int(query), tuple(int(item) for item in preclicks))
@@ -117,19 +137,63 @@ class ServingEngine:
         LRU capacity for layer-1 key expansions (0 disables caching).
     num_workers:
         Simulated fleet width for per-worker busy-time accounting; each
-        micro-batch is dispatched to the currently least-loaded worker.
+        unit of fleet work (a micro-batch, or one shard slice of it)
+        is dispatched to the currently least-loaded worker.
+    num_shards:
+        Shard fan-out per micro-batch: requests are split into this
+        many contiguous slices, each served (and timed) independently,
+        and the batch wall latency is the slowest slice.  Results are
+        identical to unsharded serving — requests are independent — so
+        this is purely a fleet-shape knob.
+    shard_parallelism:
+        Thread-pool width for running shard slices concurrently
+        (1 keeps the fan-out sequential but still per-slice timed).
     """
 
     def __init__(self, retriever: "TwoLayerRetriever",
                  max_batch_size: int = 32, cache_size: int = 1024,
-                 num_workers: int = 1):
+                 num_workers: int = 1, num_shards: int = 1,
+                 shard_parallelism: int = 1):
         self.retriever = retriever
         self.max_batch_size = max(int(max_batch_size), 1)
         self.cache = LRUCache(cache_size)
         self.num_workers = max(int(num_workers), 1)
+        self.num_shards = max(int(num_shards), 1)
+        self.shard_parallelism = max(int(shard_parallelism), 1)
         self.stats = EngineStats(
             worker_busy_seconds=[0.0] * self.num_workers)
         self._pending: List[Tuple[int, Sequence[int]]] = []
+        # the LRU is shared across shard slices; a lock keeps its
+        # bookkeeping consistent when slices run on the thread pool
+        self._cache_lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.shard_parallelism,
+                thread_name_prefix="serve-shard")
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the shard thread pool (no-op when unused)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # the engine is also a context manager, so callers that stand one up
+    # with shard_parallelism > 1 for a bounded workload do not leak the
+    # pool; long-lived owners (the pipeline) rely on the __del__ fallback
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        executor = getattr(self, "_executor", None)
+        if executor is not None:
+            executor.shutdown(wait=False)
 
     # -- bulk serving --------------------------------------------------------
 
@@ -178,33 +242,64 @@ class ServingEngine:
 
     # -- internals -----------------------------------------------------------
 
-    def _serve_batch(self, queries: np.ndarray,
+    def _shard_slices(self, size: int) -> List[Tuple[int, int]]:
+        """Contiguous near-equal request slices for one micro-batch."""
+        shards = min(self.num_shards, size)
+        edges = np.linspace(0, size, shards + 1).astype(np.int64)
+        return [(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:])
+                if b > a]
+
+    def _serve_slice(self, queries: np.ndarray,
                      preclicks: Sequence[Sequence[int]],
-                     k: int) -> List["RetrievalResult"]:
+                     k: int) -> Tuple[List["RetrievalResult"], float]:
+        """Serve one shard slice; returns its results and its busy time."""
         start = time.perf_counter()
         expansions: List[Optional["KeyExpansion"]] = [None] * queries.size
         miss_indices: List[int] = []
-        for i in range(queries.size):
-            cached = self.cache.get(_signature(queries[i], preclicks[i]))
-            if cached is not None:
-                expansions[i] = cached
-                self.stats.cache_hits += 1
-            else:
-                miss_indices.append(i)
-                self.stats.cache_misses += 1
+        with self._cache_lock:
+            for i in range(queries.size):
+                cached = self.cache.get(_signature(queries[i], preclicks[i]))
+                if cached is not None:
+                    expansions[i] = cached
+                    self.stats.cache_hits += 1
+                else:
+                    miss_indices.append(i)
+                    self.stats.cache_misses += 1
         if miss_indices:
             fresh = self.retriever.expand_keys_batch(
                 queries[miss_indices],
                 [preclicks[i] for i in miss_indices])
-            for i, expansion in zip(miss_indices, fresh):
-                expansions[i] = expansion
-                self.cache.put(_signature(queries[i], preclicks[i]),
-                               expansion)
+            with self._cache_lock:
+                for i, expansion in zip(miss_indices, fresh):
+                    expansions[i] = expansion
+                    self.cache.put(_signature(queries[i], preclicks[i]),
+                                   expansion)
         results = self.retriever.gather_batch(expansions, k=k)
-        elapsed = time.perf_counter() - start
+        return results, time.perf_counter() - start
 
-        worker = int(np.argmin(self.stats.worker_busy_seconds))
-        self.stats.worker_busy_seconds[worker] += elapsed
+    def _serve_batch(self, queries: np.ndarray,
+                     preclicks: Sequence[Sequence[int]],
+                     k: int) -> List["RetrievalResult"]:
+        slices = self._shard_slices(queries.size)
+        if len(slices) <= 1:
+            results, elapsed = self._serve_slice(queries, preclicks, k)
+            slice_times = [elapsed]
+        else:
+            jobs = [(queries[a:b], preclicks[a:b], k) for a, b in slices]
+            if self.shard_parallelism > 1:
+                outs = list(self._pool().map(
+                    lambda job: self._serve_slice(*job), jobs))
+            else:
+                outs = [self._serve_slice(*job) for job in jobs]
+            results = [r for slice_results, _ in outs for r in slice_results]
+            slice_times = [elapsed for _, elapsed in outs]
+
+        # every shard slice is one unit of fleet work; the micro-batch
+        # is done when its slowest shard is (parallel-fleet wall time)
+        for elapsed in slice_times:
+            worker = int(np.argmin(self.stats.worker_busy_seconds))
+            self.stats.worker_busy_seconds[worker] += elapsed
+        self.stats.batch_wall_seconds.append(max(slice_times))
         self.stats.batches += 1
         self.stats.requests += queries.size
         self.stats.batch_sizes.append(int(queries.size))

@@ -6,10 +6,12 @@ import pytest
 from repro.graph.schema import NodeType, Relation
 from repro.models import make_model
 from repro.retrieval import (
+    BACKENDS,
     ExactBackend,
     IndexSet,
     PQBackend,
     SearchBackend,
+    ShardedBackend,
     TwoLayerRetriever,
     make_backend,
     resolve_backend_factory,
@@ -156,6 +158,92 @@ class TestPQBackend:
         assert recall_at_k(pq_ids, flat_ids, 10) > 0.3
 
 
+class TestShardedBackend:
+    @pytest.mark.parametrize("num_shards", [1, 3, 8])
+    def test_identical_to_exact(self, q2a_space, num_shards):
+        """Exact merge semantics: sharded == monolithic, bit for bit."""
+        sharded = ShardedBackend(num_shards=num_shards).build(q2a_space)
+        exact = ExactBackend().build(q2a_space)
+        src = np.arange(25)
+        ids_a, dists_a = sharded.search(src, k=9)
+        ids_b, dists_b = exact.search(src, k=9)
+        assert np.array_equal(ids_a, ids_b)
+        assert np.allclose(dists_a, dists_b)
+
+    def test_exclude_self_identical_to_exact(self, model):
+        space = RelationSpace.from_model(model, Relation.Q2Q)
+        sharded = ShardedBackend(num_shards=5).build(space)
+        exact = ExactBackend().build(space)
+        src = np.arange(40)
+        ids_a, __ = sharded.search(src, k=7, exclude_self=True)
+        ids_b, __ = exact.search(src, k=7, exclude_self=True)
+        assert np.array_equal(ids_a, ids_b)
+        assert not np.any(ids_a == src[:, None])
+
+    def test_more_shards_than_targets(self):
+        space = _tall_space(num_targets=5)
+        backend = ShardedBackend(num_shards=50).build(space)
+        assert len(backend.shards) == 5
+        ids, dists = backend.search(np.arange(4), k=3)
+        ref_ids, ref_dists = _reference_topk(space, np.arange(4), k=3)
+        assert np.array_equal(ids, ref_ids)
+        assert np.allclose(dists, ref_dists)
+
+    def test_parallel_build_and_search_match_serial(self):
+        space = _tall_space(num_targets=1200)
+        serial = ShardedBackend(num_shards=4, parallelism=1).build(space)
+        threaded = ShardedBackend(num_shards=4, parallelism=3).build(space)
+        src = np.arange(12)
+        ids_a, dists_a = serial.search(src, k=11)
+        ids_b, dists_b = threaded.search(src, k=11)
+        assert np.array_equal(ids_a, ids_b)
+        assert np.allclose(dists_a, dists_b)
+        # the search pool is persistent across calls, closable, and
+        # never created on the serial path
+        assert serial._executor is None
+        assert threaded._executor is not None
+        pool = threaded._executor
+        threaded.search(src, k=5)
+        assert threaded._executor is pool
+        threaded.close()
+        assert threaded._executor is None
+
+    def test_shard_bounds_partition_target_space(self, q2a_space):
+        backend = ShardedBackend(num_shards=4).build(q2a_space)
+        bounds = backend.shard_bounds
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == q2a_space.num_targets
+        for (_, stop), (start, _) in zip(bounds[:-1], bounds[1:]):
+            assert stop == start
+
+    def test_pq_inner_backend(self, q2a_space):
+        backend = ShardedBackend(num_shards=3, inner_backend="pq",
+                                 inner_kwargs={"codebook_size": 8}).build(
+            q2a_space)
+        assert all(isinstance(s, PQBackend) for s in backend.shards)
+        ids, dists = backend.search(np.arange(6), k=5)
+        assert ids.shape == dists.shape == (6, 5)
+        assert ids.min() >= 0 and ids.max() < q2a_space.num_targets
+        assert np.all(np.diff(dists, axis=1) >= -1e-12)
+
+    def test_registered_in_backends(self):
+        assert BACKENDS["sharded"] is ShardedBackend
+        assert isinstance(make_backend("sharded", num_shards=3),
+                          ShardedBackend)
+
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardedBackend(num_shards=0)
+        with pytest.raises(ValueError, match="sharded"):
+            ShardedBackend(inner_backend="sharded")
+        with pytest.raises(ValueError, match="unknown inner"):
+            ShardedBackend(inner_backend="annoy")
+
+    def test_search_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            ShardedBackend().search(np.array([0]), k=3)
+
+
 class TestBackendFactory:
     def test_make_backend_by_name(self):
         assert isinstance(make_backend("exact"), ExactBackend)
@@ -198,6 +286,21 @@ class TestIndexSetBackends:
             [Relation.Q2A])
         assert index_set.backends[Relation.Q2A].block_size == 33
 
+    def test_build_encodes_each_node_type_once(self, model, monkeypatch):
+        """The per-build encode cache shares the vocabulary encode
+        across relations: one encode_all per node type, not per
+        relation endpoint."""
+        calls = []
+        original = type(model).encode_all
+
+        def counting(self, node_type, rng=None, plan=None):
+            calls.append(node_type)
+            return original(self, node_type, rng=rng, plan=plan)
+
+        monkeypatch.setattr(type(model), "encode_all", counting)
+        IndexSet(model, top_k=5).build()     # all six relations
+        assert sorted(c.value for c in calls) == ["ad", "item", "query"]
+
     def test_exact_and_pq_backends_agree_on_easy_top1(self, model):
         """Both rank valid ids; exact is the MNN ground truth."""
         exact = IndexSet(model, top_k=5).build([Relation.Q2A])
@@ -234,3 +337,58 @@ class TestIndexSetPersistence:
         loaded = IndexSet.load(path)
         with pytest.raises(RuntimeError):
             loaded.build_one(Relation.Q2I)
+
+    _BACKEND_SPECS = {
+        "exact": {},
+        "pq": {"codebook_size": 16},
+        "sharded": {"num_shards": 3},
+    }
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_roundtrip_every_registered_backend(self, model, tmp_path,
+                                                backend):
+        """save/load must round-trip for every name in BACKENDS."""
+        built = IndexSet(model, top_k=6, backend=backend,
+                         backend_kwargs=self._BACKEND_SPECS[backend]).build(
+            [Relation.Q2A, Relation.I2I])
+        path = built.save(tmp_path / ("ix_%s.npz" % backend))
+        loaded = IndexSet.load(path)
+        assert loaded.backend_name == backend
+        for relation in (Relation.Q2A, Relation.I2I):
+            ids_a, dists_a = built[relation].lookup_batch(np.arange(10))
+            ids_b, dists_b = loaded[relation].lookup_batch(np.arange(10))
+            assert np.array_equal(ids_a, ids_b)
+            assert np.allclose(dists_a, dists_b)
+        # and the loaded set serves the two-layer retriever model-free
+        retriever = TwoLayerRetriever(loaded, expansion_k=3, ads_per_key=3)
+        result = retriever.retrieve(1, [2], k=5)
+        assert result.ads.size > 0
+
+    def test_shard_layout_survives_roundtrip(self, model, tmp_path):
+        built = IndexSet(model, top_k=6, backend="sharded",
+                         backend_kwargs={"num_shards": 3}).build(
+            [Relation.Q2A])
+        assert len(built.shard_bounds[Relation.Q2A]) == 3
+        loaded = IndexSet.load(built.save(tmp_path / "sharded.npz"))
+        assert loaded.backend_name == "sharded"
+        assert loaded.shard_bounds[Relation.Q2A] == \
+            built.shard_bounds[Relation.Q2A]
+
+    def test_sharded_inherits_index_num_workers(self, model):
+        """index.num_workers must reach the exact inner shards."""
+        index_set = IndexSet(model, top_k=5, num_workers=3,
+                             backend="sharded",
+                             backend_kwargs={"num_shards": 2}).build(
+            [Relation.Q2A])
+        backend = index_set.backends[Relation.Q2A]
+        assert all(shard.num_workers == 3 for shard in backend.shards)
+
+    def test_sharded_build_matches_exact_build(self, model):
+        exact = IndexSet(model, top_k=7).build([Relation.Q2A])
+        sharded = IndexSet(model, top_k=7, backend="sharded",
+                           backend_kwargs={"num_shards": 4}).build(
+            [Relation.Q2A])
+        assert np.array_equal(exact[Relation.Q2A].ids,
+                              sharded[Relation.Q2A].ids)
+        assert np.allclose(exact[Relation.Q2A].distances,
+                           sharded[Relation.Q2A].distances)

@@ -146,6 +146,40 @@ class TestConfig:
         with pytest.raises(ValueError, match="steps"):
             tiny_config().with_overrides(["training.steps=0"])
 
+    def test_shard_keys_validated(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            PipelineConfig.from_dict({"index": {"num_shards": 0}})
+        with pytest.raises(ValueError, match="shard_parallelism"):
+            PipelineConfig.from_dict({"index": {"shard_parallelism": 0}})
+        with pytest.raises(ValueError, match="inner_backend"):
+            PipelineConfig.from_dict({"index": {"inner_backend": "sharded"}})
+        with pytest.raises(ValueError, match="inner_backend"):
+            PipelineConfig.from_dict({"index": {"inner_backend": "faiss"}})
+
+    def test_sharded_backend_accepted_and_settable(self):
+        config = tiny_config().with_overrides(
+            ["index.backend=sharded", "index.num_shards=4",
+             "index.inner_backend=pq", "index.shard_parallelism=2"])
+        assert config.index.backend == "sharded"
+        assert config.index.num_shards == 4
+        kwargs = config.index.resolved_backend_kwargs()
+        assert kwargs == {"num_shards": 4, "inner_backend": "pq",
+                          "parallelism": 2}
+        assert config.index.serving_shards == 4
+        # JSON round-trip carries the shard keys
+        assert PipelineConfig.from_json(config.to_json()) == config
+
+    def test_shard_kwargs_only_fold_in_for_sharded_backend(self):
+        config = tiny_config()
+        assert config.index.backend == "exact"
+        assert config.index.resolved_backend_kwargs() == {}
+        assert config.index.serving_shards == 1
+
+    def test_explicit_backend_kwargs_win(self):
+        config = tiny_config(index={"backend": "sharded", "num_shards": 2,
+                                    "backend_kwargs": {"num_shards": 5}})
+        assert config.index.resolved_backend_kwargs()["num_shards"] == 5
+
 
 class TestPipelineRun:
     def test_stage_order_and_report(self, run_pipeline):
@@ -261,6 +295,55 @@ class TestSharedDataContext:
         assert report["train"].info["model"] == "amcad_e"
         # the source pipeline's trained model is untouched
         assert run_pipeline.ctx.model is not forked.ctx.model
+
+
+class TestShardedPipeline:
+    def test_sharded_run_matches_exact_indices(self, run_pipeline):
+        """Same data + model seed, sharded index plane: identical indices,
+        shard metadata in the report, serving up through shard fan-out."""
+        from repro.graph.schema import Relation
+        config = tiny_config(index={"backend": "sharded", "num_shards": 3,
+                                    "shard_parallelism": 2, "top_k": 10})
+        sharded = Pipeline(config,
+                           context=run_pipeline.ctx.fork_data(config))
+        report = sharded.run()
+        assert report["index"].info["num_shards"] == 3
+        assert report["index"].info["inner_backend"] == "exact"
+        assert report["serve"].info["num_shards"] == 3
+        for relation in (Relation.Q2A, Relation.Q2I):
+            assert np.array_equal(
+                run_pipeline.ctx.index_set[relation].ids,
+                sharded.ctx.index_set[relation].ids)
+        assert sharded.ctx.engine.num_shards == 3
+        assert sharded.ctx.engine.stats.batch_wall_seconds
+
+    def test_rebuild_indices_reshards_artifacts(self, run_pipeline):
+        """Model-free index refresh: re-shard persisted artifacts and
+        serve identically (exact merge semantics)."""
+        store_dir = str(run_pipeline.store.root)
+        reloaded = Pipeline.from_artifacts(store_dir)
+        try:
+            before = reloaded.serve([3, 14], [[2], []], k=5)
+            reloaded.config = reloaded.ctx.config = \
+                reloaded.config.with_overrides(
+                    ["index.backend=sharded", "index.num_shards=3"])
+            info = reloaded.rebuild_indices()
+            assert info["backend"] == "sharded"
+            # fresh engine over the new indices
+            assert reloaded.ctx.engine is None
+            after = reloaded.serve([3, 14], [[2], []], k=5)
+            for a, b in zip(before, after):
+                assert np.array_equal(a.ads, b.ads)
+            # the persisted artifacts now carry the sharded layout
+            again = Pipeline.from_artifacts(store_dir)
+            assert again.config.index.backend == "sharded"
+            assert again.ctx.index_set.backend_name == "sharded"
+            assert again.ctx.index_set.shard_bounds
+        finally:
+            # restore the exact layout for the other module-scoped tests
+            reloaded.config = reloaded.ctx.config = \
+                reloaded.config.with_overrides(["index.backend=exact"])
+            reloaded.rebuild_indices()
 
 
 class TestSatellites:

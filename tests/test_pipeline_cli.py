@@ -81,6 +81,34 @@ def test_serve_rejects_preclicks_without_queries(cli_artifacts):
                   "--preclicks", "1,2"])
 
 
+def test_index_rebuilds_and_reshards(cli_artifacts, capsys):
+    try:
+        assert cli.main(["index", "--artifacts", str(cli_artifacts),
+                         "--set", "index.backend=sharded",
+                         "--set", "index.num_shards=3"]) == 0
+        out = capsys.readouterr().out
+        info = json.loads(out[:out.rindex("}") + 1])
+        assert info["backend"] == "sharded"
+        assert info["num_shards"] == 3
+        # the persisted config was updated alongside the fresh indices
+        config = json.loads((cli_artifacts / "config.json").read_text())
+        assert config["index"]["backend"] == "sharded"
+        # and serving from the re-sharded artifacts still works
+        assert cli.main(["serve", "--artifacts", str(cli_artifacts),
+                         "--requests", "3"]) == 0
+        assert "served 3 request(s)" in capsys.readouterr().out
+    finally:
+        # restore the exact layout for the other module-scoped tests
+        assert cli.main(["index", "--artifacts", str(cli_artifacts),
+                         "--set", "index.backend=exact"]) == 0
+
+
+def test_index_rejects_non_index_overrides(cli_artifacts):
+    with pytest.raises(SystemExit, match="index.* overrides"):
+        cli.main(["index", "--artifacts", str(cli_artifacts),
+                  "--set", "training.steps=1"])
+
+
 def test_eval_rejects_non_eval_overrides(cli_artifacts):
     with pytest.raises(SystemExit, match="eval.* overrides"):
         cli.main(["eval", "--artifacts", str(cli_artifacts),

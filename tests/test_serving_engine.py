@@ -128,6 +128,65 @@ class TestServingEngine:
             engine.serve([0, 1], [[2]])
 
 
+class TestShardParallelServing:
+    def test_sharded_results_match_unsharded(self, retriever, traffic):
+        queries, preclicks = traffic
+        plain = ServingEngine(retriever, max_batch_size=8)
+        sharded = ServingEngine(retriever, max_batch_size=8, num_shards=3)
+        a = plain.serve(queries, preclicks, k=6)
+        b = sharded.serve(queries, preclicks, k=6)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.ads, y.ads)
+            assert np.allclose(x.scores, y.scores)
+
+    def test_thread_pool_results_match_sequential(self, retriever, traffic):
+        queries, preclicks = traffic
+        sequential = ServingEngine(retriever, max_batch_size=10,
+                                   num_shards=4, shard_parallelism=1)
+        threaded = ServingEngine(retriever, max_batch_size=10,
+                                 num_shards=4, shard_parallelism=3)
+        a = sequential.serve(queries, preclicks, k=6)
+        b = threaded.serve(queries, preclicks, k=6)
+        threaded.close()
+        for x, y in zip(a, b):
+            assert np.array_equal(x.ads, y.ads)
+            assert np.allclose(x.scores, y.scores)
+
+    def test_stats_accounting_preserved(self, retriever, traffic):
+        queries, preclicks = traffic
+        engine = ServingEngine(retriever, max_batch_size=8, num_shards=3,
+                               num_workers=4)
+        engine.serve(queries, preclicks)
+        stats = engine.stats
+        assert stats.requests == 20
+        assert stats.batches == 3                 # 8 + 8 + 4
+        assert stats.batch_sizes == [8, 8, 4]
+        # one wall-latency sample per micro-batch, each the max of its
+        # shard slices, so it cannot exceed the total busy time
+        assert len(stats.batch_wall_seconds) == 3
+        assert stats.mean_batch_wall_seconds > 0
+        assert sum(stats.batch_wall_seconds) <= \
+            stats.total_busy_seconds + 1e-9
+        assert stats.service_seconds > 0
+
+    def test_cache_shared_across_shards(self, retriever, traffic):
+        queries, preclicks = traffic
+        engine = ServingEngine(retriever, max_batch_size=20, num_shards=4,
+                               cache_size=64)
+        engine.serve(queries, preclicks, k=6)
+        assert engine.stats.cache_misses == 20
+        engine.serve(queries, preclicks, k=6)
+        assert engine.stats.cache_hits == 20
+
+    def test_shards_capped_by_batch_size(self, retriever, traffic):
+        queries, preclicks = traffic
+        engine = ServingEngine(retriever, max_batch_size=2, num_shards=50)
+        results = engine.serve(queries[:3], preclicks[:3], k=5)
+        assert len(results) == 3
+        assert engine.stats.requests == 3
+
+
 def _erlang_c_wait_factorial(arrival_rate, service_rate, servers):
     """The textbook formula the stable recursion must reproduce."""
     if arrival_rate <= 0:
