@@ -24,6 +24,7 @@ end-to-end wall-clock.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 
@@ -118,6 +119,61 @@ def _measure_training(graph, steps):
     return out
 
 
+def _measure_prefetch(graph, steps):
+    """The overlapped training plane at ``gcn_layers=2``.
+
+    Unlike ``_measure_training`` (gcn_layers=0, isolating the data
+    plane), this section measures the regime the prefetch plane is
+    *for*: deep enough that forward/backward dominates and the sampling
+    phase can hide behind it.  Five rows:
+
+    - workers ∈ {0, 2, 4} at full semantics (``backward_depth=0``) —
+      the honest like-for-like comparison; sampling is only ~7% of a
+      gcn_layers=2 step, so the pure-prefetch ceiling is ~1.07x and
+      these rows report the achieved overlap fraction instead;
+    - ``backward_depth=1`` alone, then combined with ``workers=2`` —
+      the *overlapped plane*: truncated backward shrinks the tape work
+      and prefetch hides the sampling behind what remains.  The
+      combined row is the gate (≥ 1.3x the synchronous baseline).
+    """
+    def run(workers, backward_depth):
+        model = make_model("amcad", graph, num_subspaces=2, subspace_dim=4,
+                           seed=1, gcn_layers=2)
+        config = TrainerConfig(steps=steps, batch_size=BATCH_SIZE, seed=1,
+                               prefetch_workers=workers,
+                               backward_depth=backward_depth)
+        report = Trainer(model, config).train()
+        return {
+            "prefetch_workers": workers,
+            "backward_depth": backward_depth,
+            "steps": report.steps,
+            "wall_seconds": report.wall_seconds,
+            "steps_per_sec": report.steps / report.wall_seconds,
+            "final_loss": report.final_loss,
+            "mean_tail_loss": report.mean_tail_loss,
+            "prefetch_wait_seconds": report.prefetch_wait_seconds,
+            "overlap_fraction": report.overlap_fraction,
+        }
+
+    rows = [run(workers, 0) for workers in (0, 2, 4)]
+    rows.append(run(0, 1))
+    rows.append(run(2, 1))
+    base = rows[0]["steps_per_sec"]
+    for row in rows:
+        row["speedup_vs_sync"] = row["steps_per_sec"] / base
+    return {
+        "gcn_layers": 2,
+        "batch_size": BATCH_SIZE,
+        # producer processes only overlap the consumer when there are
+        # cores for them; on a 1-core host the workers time-slice with
+        # the forward/backward and pure-prefetch rows show overhead,
+        # not speedup — record the budget the numbers were taken under
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+        "overlapped_plane_speedup": rows[-1]["speedup_vs_sync"],
+    }
+
+
 def main(argv=None) -> int:
     parser = bench_parser(
         "training_throughput",
@@ -135,6 +191,7 @@ def main(argv=None) -> int:
     pairs_info, looped_pairs, blocks = _measure_pairs(walker, num_walks)
     negatives_info = _measure_negatives(sampler, looped_pairs, blocks)
     training_info = _measure_training(graph, steps)
+    prefetch_info = _measure_prefetch(graph, steps)
 
     payload = {
         "scale": args.scale,
@@ -142,6 +199,7 @@ def main(argv=None) -> int:
         "pairs": pairs_info,
         "negatives": negatives_info,
         "training": training_info,
+        "prefetch": prefetch_info,
     }
     write_json_out(args.out, payload)
 
@@ -156,6 +214,12 @@ def main(argv=None) -> int:
           % (training_info["looped"]["steps_per_sec"],
              training_info["batched"]["steps_per_sec"],
              training_info["speedup"]))
+    for row in prefetch_info["rows"]:
+        print("prefetch L=2   workers=%d bd=%d %8.2f steps/s  "
+              "(%.2fx vs sync, overlap %3.0f%%)"
+              % (row["prefetch_workers"], row["backward_depth"],
+                 row["steps_per_sec"], row["speedup_vs_sync"],
+                 100.0 * row["overlap_fraction"]))
 
     if args.scale >= 1.0:
         if pairs_info["speedup"] < 10.0:
@@ -165,6 +229,11 @@ def main(argv=None) -> int:
         if training_info["speedup"] <= 1.0:
             print("FAIL: batched plane did not improve end-to-end "
                   "training wall-clock (%.2fx)" % training_info["speedup"])
+            return 1
+        if prefetch_info["overlapped_plane_speedup"] < 1.3:
+            print("FAIL: overlapped plane (workers=2, backward_depth=1) "
+                  "below 1.3x the synchronous gcn_layers=2 path (%.2fx)"
+                  % prefetch_info["overlapped_plane_speedup"])
             return 1
     return 0
 

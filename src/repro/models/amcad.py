@@ -186,6 +186,24 @@ class AMCAD:
 
     # -- loss --------------------------------------------------------------------
 
+    @staticmethod
+    def _resolve_plan(plans, role: str, node_type: NodeType):
+        """Look up a pre-built plan for one endpoint role of a group.
+
+        ``plans`` may be keyed by :class:`NodeType` (the encoder-plane
+        parity hook) or by role — ``"source"`` / ``"target"`` — which is
+        what the prefetching producer emits: same-type relations need
+        *distinct* plans per role (shared draws are the common-random-
+        numbers pathology described in ``_encode_group_frontier``), so a
+        type-keyed dict cannot express them.
+        """
+        if not plans:
+            return None
+        plan = plans.get(role)
+        if plan is not None:
+            return plan
+        return plans.get(node_type)
+
     def _encode_group_recursive(self, group: SampleBatch,
                                 rng: np.random.Generator,
                                 plans) -> Tuple[List[Tensor], List[Tensor],
@@ -193,12 +211,12 @@ class AMCAD:
         """Reference encoding: source set and target set, no dedup."""
         relation = group.relation
         batch = group.src_idx.size
-        plan = plans.get(relation.source_type) if plans else None
+        plan = self._resolve_plan(plans, "source", relation.source_type)
         src_points = self.encode(relation.source_type, group.src_idx, rng,
                                  plan=plan)
         # positives and negatives share a type: one batched encode
         tgt_idx = np.concatenate([group.pos_idx, group.neg_idx.ravel()])
-        plan = plans.get(relation.target_type) if plans else None
+        plan = self._resolve_plan(plans, "target", relation.target_type)
         tgt_points = self.encode(relation.target_type, tgt_idx, rng,
                                  plan=plan)
         pos_points = [p[:batch] for p in tgt_points]
@@ -228,7 +246,7 @@ class AMCAD:
         relation = group.relation
         batch = group.src_idx.size
         uniq_src, inv_src = np.unique(group.src_idx, return_inverse=True)
-        plan = plans.get(relation.source_type) if plans else None
+        plan = self._resolve_plan(plans, "source", relation.source_type)
         # use_draw_cache=False: a cross-step draw cache keys only on the
         # node, so letting the source role read it would re-couple both
         # endpoints of a same-type relation onto shared draws
@@ -237,7 +255,7 @@ class AMCAD:
         src_points = [ops.gather(p, inv_src) for p in points]
         merged = np.concatenate([group.pos_idx, group.neg_idx.ravel()])
         uniq_tgt, inv_tgt = np.unique(merged, return_inverse=True)
-        plan = plans.get(relation.target_type) if plans else None
+        plan = self._resolve_plan(plans, "target", relation.target_type)
         points = self.encode(relation.target_type, uniq_tgt, rng, plan=plan)
         pos_points = [ops.gather(p, inv_tgt[:batch]) for p in points]
         neg_points = [ops.gather(p, inv_tgt[batch:]) for p in points]
@@ -255,10 +273,14 @@ class AMCAD:
         are merged into one deduplicated encode per node type and the
         rows are gathered back out; the recursive plane keeps the
         original two-encode structure as the parity reference.  ``plans``
-        optionally supplies pre-built per-node-type
+        optionally supplies pre-built
         :class:`~repro.models.plan.EncodePlan` objects whose captured
-        neighbour draws both planes then share (the parity hook used by
-        the encoder-plane tests).
+        neighbour draws both planes then share, keyed either by
+        :class:`NodeType` (the parity hook used by the encoder-plane
+        tests) or by endpoint role — ``"source"`` / ``"target"`` — the
+        prefetching producer's contract (role keys win, and are the
+        only way to give the two endpoints of a same-type relation
+        distinct draws).
         """
         rng = rng or self.rng
         cfg = self.config

@@ -103,6 +103,13 @@ class NodeEncoder:
         #: optional :class:`NeighborDrawCache` shared across plans —
         #: attached by the trainer when ``plan_refresh > 1``
         self.draw_cache: Optional[NeighborDrawCache] = None
+        #: truncated-backward dial (frontier plane only): 0 = full
+        #: backward; ``n >= 1`` keeps only the top ``n`` GCN rounds on
+        #: the tape — lower levels run the bit-exact no-tape numpy
+        #: mirror, so the *forward* values are unchanged while the
+        #: backward (and the tape it walks) stops at the boundary.  Set
+        #: by the trainer from ``TrainerConfig.backward_depth``.
+        self.backward_depth: int = 0
         rng = rng or np.random.default_rng(0)
         self._rng = rng
 
@@ -295,13 +302,33 @@ class NodeEncoder:
         Every node appears exactly once per level; upper levels address
         the level below through ``ops.gather``, whose scatter-add
         backward accumulates gradients of repeated rows.
+
+        With :attr:`backward_depth` ``n`` in ``[1, layers]`` the levels
+        below ``layers - n`` are computed by the no-tape numpy mirror
+        (bit-identical forward, see :meth:`encode_from_plan_numpy`) and
+        enter the tape as constants — the MyGrad ``bp_lim`` idiom: full
+        forward, bounded backward.  Parameters partition cleanly by
+        level (GCN round ``l`` weights are used only at level ``l+1``),
+        so parameters above the boundary receive exactly the gradients
+        of the full backward while those at or below it receive none;
+        only the per-subspace curvatures, which appear at every level,
+        see partial gradients.
         """
+        depth = int(self.backward_depth or 0)
+        cut = plan.layers - depth if 0 < depth <= plan.layers else -1
         reps: Dict[tuple, List[Tensor]] = {}
-        for t in NodeType:
-            frontier = plan.levels[0].frontiers.get(t)
-            if frontier is not None:
-                reps[(0, t)] = self.inductive(t, frontier)
-        for l in range(1, plan.layers + 1):
+        if cut >= 0:
+            frozen = self._plan_levels_numpy(plan, upto=cut)
+            for t in NodeType:
+                arrays = frozen.get((cut, t))
+                if arrays is not None:
+                    reps[(cut, t)] = [Tensor(a) for a in arrays]
+        else:
+            for t in NodeType:
+                frontier = plan.levels[0].frontiers.get(t)
+                if frontier is not None:
+                    reps[(0, t)] = self.inductive(t, frontier)
+        for l in range(max(cut, 0) + 1, plan.layers + 1):
             level = plan.levels[l]
             for t in NodeType:
                 uniq = level.frontiers.get(t)
@@ -397,16 +424,14 @@ class NodeEncoder:
             out.append(fast.project_numpy(point, factor.kappa_value))
         return out
 
-    def encode_from_plan_numpy(self, plan: EncodePlan) -> List[np.ndarray]:
-        """No-tape compute phase over a plan: plain arrays end to end.
+    def _plan_levels_numpy(self, plan: EncodePlan,
+                           upto: int) -> Dict[tuple, List[np.ndarray]]:
+        """No-tape reps of levels ``0 .. upto``, keyed ``(level, type)``.
 
-        Structure mirrors :meth:`_encode_from_plan` exactly (each unique
-        frontier encoded once, bottom-up, rows gathered by indexing) but
-        never constructs a tensor, so a full-graph plan turns
-        ``embed_all`` into ``layers + 1`` fused vocabulary passes.
-        Output: one ``(top_frontier, subspace_dim)`` array per subspace,
-        in top-frontier (sorted-unique) order, with fusion applied when
-        the encoder uses it.
+        The shared level loop of :meth:`encode_from_plan_numpy` (which
+        runs it to the top) and the truncated-backward path of
+        :meth:`_encode_from_plan` (which runs it up to the gradient
+        boundary and wraps the result as constants).
         """
         reps: Dict[tuple, List[np.ndarray]] = {}
         tangents: Dict[tuple, List[np.ndarray]] = {}
@@ -427,7 +452,7 @@ class NodeEncoder:
             frontier = plan.levels[0].frontiers.get(t)
             if frontier is not None:
                 reps[(0, t)] = self._inductive_numpy(t, frontier)
-        for l in range(1, plan.layers + 1):
+        for l in range(1, upto + 1):
             level = plan.levels[l]
             for t in NodeType:
                 uniq = level.frontiers.get(t)
@@ -452,6 +477,20 @@ class NodeEncoder:
                 reps[(l, t)] = self._gcn_update_numpy(t, l - 1, self_tangents,
                                                       neighbor_sums,
                                                       uniq.size)
+        return reps
+
+    def encode_from_plan_numpy(self, plan: EncodePlan) -> List[np.ndarray]:
+        """No-tape compute phase over a plan: plain arrays end to end.
+
+        Structure mirrors :meth:`_encode_from_plan` exactly (each unique
+        frontier encoded once, bottom-up, rows gathered by indexing) but
+        never constructs a tensor, so a full-graph plan turns
+        ``embed_all`` into ``layers + 1`` fused vocabulary passes.
+        Output: one ``(top_frontier, subspace_dim)`` array per subspace,
+        in top-frontier (sorted-unique) order, with fusion applied when
+        the encoder uses it.
+        """
+        reps = self._plan_levels_numpy(plan, upto=plan.layers)
         points = reps[(plan.layers, plan.node_type)]
         if self.use_fusion:
             points = self._fuse_numpy(plan.node_type, points)

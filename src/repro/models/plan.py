@@ -94,6 +94,28 @@ class EncodePlan:
     neighbor_samples: int
     levels: List[PlanLevel]
 
+    def __getstate__(self) -> dict:
+        """Pickle as the plain field dict — plans are arrays only.
+
+        Plans cross a process boundary on the prefetching training plane
+        (:mod:`repro.training.prefetch`); keeping the state explicit
+        documents the wire format and gives ``__setstate__`` a place to
+        re-check the invariants the compute phase relies on.
+        """
+        return {"node_type": self.node_type, "indices": self.indices,
+                "layers": self.layers, "neighbor_samples":
+                self.neighbor_samples, "levels": self.levels}
+
+    def __setstate__(self, state: dict) -> None:
+        self.node_type = state["node_type"]
+        self.indices = np.asarray(state["indices"], dtype=np.int64)
+        self.layers = int(state["layers"])
+        self.neighbor_samples = int(state["neighbor_samples"])
+        self.levels = state["levels"]
+        if len(self.levels) != self.layers + 1:
+            raise ValueError("corrupt EncodePlan: %d levels for %d layers"
+                             % (len(self.levels), self.layers))
+
     def output_map(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
         """Top-frontier positions of ``indices`` (default: the request)."""
         if indices is None:

@@ -147,6 +147,17 @@ class TrainingConfig:
     #: frontier-plane neighbour-draw reuse window in steps (1 = resample
     #: every step; see ``TrainerConfig.plan_refresh``)
     plan_refresh: int = 1
+    #: sampling-phase producer processes (0 = synchronous reference
+    #: path; see ``TrainerConfig.prefetch_workers``)
+    prefetch_workers: int = 0
+    #: payload-queue depth when prefetching (double-buffering bound)
+    prefetch_depth: int = 2
+    #: micro-batches per optimiser step (loss scaled 1/K; gradients
+    #: equal one K·batch_size batch)
+    accumulate_steps: int = 1
+    #: GCN rounds kept on the tape, counted from the top (0 = full
+    #: backward; frontier compute plane only)
+    backward_depth: int = 0
 
     def __post_init__(self):
         if self.steps < 1:
@@ -161,6 +172,29 @@ class TrainingConfig:
         if self.plan_refresh < 1:
             raise ValueError("training.plan_refresh must be >= 1, got %d"
                              % self.plan_refresh)
+        if self.prefetch_workers < 0:
+            raise ValueError("training.prefetch_workers must be >= 0, got %d"
+                             % self.prefetch_workers)
+        if self.prefetch_depth < 1:
+            raise ValueError("training.prefetch_depth must be >= 1, got %d"
+                             % self.prefetch_depth)
+        if self.accumulate_steps < 1:
+            raise ValueError("training.accumulate_steps must be >= 1, got %d"
+                             % self.accumulate_steps)
+        if self.backward_depth < 0:
+            raise ValueError("training.backward_depth must be >= 0, got %d"
+                             % self.backward_depth)
+        if self.prefetch_workers > 0 and self.data_plane != "batched":
+            raise ValueError(
+                "training.prefetch_workers > 0 requires "
+                "training.data_plane='batched', got %r" % self.data_plane)
+        if (self.plan_refresh > 1 and self.prefetch_workers >= 1
+                and self.plan_refresh <= self.prefetch_workers):
+            raise ValueError(
+                "training.plan_refresh=%d with prefetch_workers=%d would "
+                "silently miss the per-worker draw cache on every plan; "
+                "use plan_refresh > prefetch_workers"
+                % (self.plan_refresh, self.prefetch_workers))
 
     def trainer_config(self) -> TrainerConfig:
         return TrainerConfig(**dataclasses.asdict(self))

@@ -173,10 +173,18 @@ class TrainStage(Stage):
             "losses": [float(x) for x in report.losses],
             "final_loss": report.final_loss,
             "mean_tail_loss": report.mean_tail_loss,
+            "prefetch_workers": cfg.training.prefetch_workers,
+            "accumulate_steps": cfg.training.accumulate_steps,
+            "backward_depth": cfg.training.backward_depth,
             "summary": "%s: %d steps, final loss %.3f (tail mean %.3f)"
                        % (cfg.model.name, report.steps, report.final_loss,
                           report.mean_tail_loss),
         }
+        if cfg.training.prefetch_workers > 0:
+            info["prefetch_wait_seconds"] = report.prefetch_wait_seconds
+            info["prefetch_overlap_fraction"] = report.overlap_fraction
+            info["summary"] += ", prefetch overlap %.0f%%" % (
+                100.0 * report.overlap_fraction)
         if cfg.eval.enabled and cfg.eval.ab_control:
             ctx.control_model, control_report = self._train(
                 ctx, cfg.eval.ab_control, cfg.model.seed)

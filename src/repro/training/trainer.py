@@ -19,6 +19,18 @@ receptive field into per-level unique frontiers before touching the
 tape, ``"recursive"`` is the reference recursion.
 ``TrainerConfig.plan_refresh`` adds cross-step reuse of the frontier
 plane's captured neighbour draws.
+
+Three throughput knobs stack on top (all default off; the synchronous
+single-process loop remains the parity reference):
+
+- ``prefetch_workers`` — run the sampling phase (batch + per-role
+  encode plans) in a :class:`~repro.training.prefetch.PlanProducer`
+  process pool, double-buffered so step N+1's payload is built while
+  step N's forward/backward runs;
+- ``accumulate_steps`` — K micro-batches per optimiser step,
+  loss-scaled by 1/K so the update equals one K-times-larger batch;
+- ``backward_depth`` — truncate the backward below a GCN level on the
+  frontier plane (full forward, bounded tape).
 """
 
 from __future__ import annotations
@@ -35,6 +47,7 @@ from repro.graph.schema import Relation
 from repro.models.amcad import AMCAD
 from repro.models.plan import NeighborDrawCache
 from repro.training.optim import AdaGrad
+from repro.training.prefetch import PlanProducer
 
 DATA_PLANES = ("batched", "looped")
 
@@ -58,6 +71,24 @@ class TrainerConfig:
     ``train()`` returns (inference never sees training-time draws).
     The default 1 resamples every step, matching the paper's
     stochastic aggregation exactly.
+
+    ``prefetch_workers`` moves the sampling phase into a
+    :class:`~repro.training.prefetch.PlanProducer` pool of that many
+    spawn-context processes (0 = the synchronous reference path);
+    ``prefetch_depth`` bounds the payload queue (double-buffering).
+    Requires ``data_plane="batched"``; combined with
+    ``plan_refresh > 1`` the producer owns the draw cache (one per
+    worker) and demands ``plan_refresh > prefetch_workers`` — a
+    shorter window can never hit a worker's cache.
+
+    ``accumulate_steps`` runs K micro-batches per optimiser step with
+    the loss scaled by 1/K, so gradients match one K·batch_size batch
+    exactly (the loss is mean-normalised; asserted in tests).
+
+    ``backward_depth`` keeps only the top N GCN rounds on the tape
+    (frontier plane only): the forward is bit-identical — lower levels
+    run the no-tape numpy mirror — while the backward stops at the
+    boundary.  0 = full backward.
     """
 
     steps: int = 60
@@ -70,6 +101,10 @@ class TrainerConfig:
     seed: int = 0
     data_plane: str = "batched"
     plan_refresh: int = 1
+    prefetch_workers: int = 0
+    prefetch_depth: int = 2
+    accumulate_steps: int = 1
+    backward_depth: int = 0
 
 
 @dataclasses.dataclass
@@ -80,10 +115,27 @@ class TrainingReport:
     wall_seconds: float
     steps: int
     samples_seen: int
+    #: time the consumer spent blocked on the prefetch queue (0.0 on
+    #: the synchronous path)
+    prefetch_wait_seconds: float = 0.0
 
     @property
     def final_loss(self) -> float:
         return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of the wall during which the producer kept up.
+
+        ``1 - wait/wall``: 1.0 means the consumer never blocked on the
+        queue (sampling fully hidden behind forward/backward), 0.0
+        means it waited the whole run.  Synchronous runs report 1.0
+        trivially — there is no queue to wait on.
+        """
+        if self.wall_seconds <= 0:
+            return 1.0
+        return float(np.clip(1.0 - self.prefetch_wait_seconds
+                             / self.wall_seconds, 0.0, 1.0))
 
     @property
     def mean_tail_loss(self) -> float:
@@ -115,9 +167,41 @@ class Trainer:
                 "no effect on compute_plane=%r — set the model's "
                 "compute_plane to 'frontier' or leave plan_refresh at 1"
                 % model.encoder.compute_plane)
+        if cfg.prefetch_workers < 0:
+            raise ValueError("prefetch_workers must be >= 0, got %d"
+                             % cfg.prefetch_workers)
+        if cfg.prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be >= 1, got %d"
+                             % cfg.prefetch_depth)
+        if cfg.accumulate_steps < 1:
+            raise ValueError("accumulate_steps must be >= 1, got %d"
+                             % cfg.accumulate_steps)
+        if cfg.backward_depth < 0:
+            raise ValueError("backward_depth must be >= 0, got %d"
+                             % cfg.backward_depth)
+        if cfg.prefetch_workers > 0 and cfg.data_plane != "batched":
+            raise ValueError(
+                "prefetch_workers > 0 produces SampleBatch payloads out of "
+                "process, which only the 'batched' data plane consumes; "
+                "data_plane=%r cannot prefetch" % cfg.data_plane)
+        if cfg.backward_depth > 0 and model.encoder.compute_plane != "frontier":
+            raise ValueError(
+                "backward_depth truncates the frontier plane's tape; it has "
+                "no meaning on compute_plane=%r — set the model's "
+                "compute_plane to 'frontier' or leave backward_depth at 0"
+                % model.encoder.compute_plane)
+        if (cfg.plan_refresh > 1 and cfg.prefetch_workers >= 1
+                and cfg.plan_refresh <= cfg.prefetch_workers):
+            raise ValueError(
+                "plan_refresh=%d with prefetch_workers=%d would silently "
+                "miss the draw cache on every plan (each worker produces "
+                "every %d-th step); use plan_refresh > prefetch_workers"
+                % (cfg.plan_refresh, cfg.prefetch_workers,
+                   cfg.prefetch_workers))
         # drop any stale cache a previous trainer left on the encoder;
         # train() attaches a fresh one for the duration of the loop only
         model.encoder.draw_cache = None
+        model.encoder.backward_depth = cfg.backward_depth
         self._steps_done = 0
         self.rng = np.random.default_rng(cfg.seed)
         self.walker = walker or MetaPathWalker(model.graph)
@@ -192,19 +276,45 @@ class Trainer:
                 self._array_buffers.setdefault(block.relation, []).append(
                     (block.src_idx, block.dst_idx))
 
+    def _accumulate_micro(self, next_micro) -> float:
+        """One optimiser step over K micro-batches from ``next_micro``.
+
+        ``next_micro()`` returns ``(samples, plans)``; ``plans`` is
+        ``None`` on the synchronous path (the loss samples its own
+        draws) and the producer's role-keyed plan dict when
+        prefetching.  Each micro loss is scaled by 1/K before its
+        backward — the tape accumulates gradients across ``backward``
+        calls, so after K micro-batches the parameter gradients equal
+        those of a single K·batch_size batch (the loss is
+        mean-normalised per batch).  The returned scalar is the mean
+        micro loss, directly comparable to a K=1 step's loss.
+        """
+        k = self.config.accumulate_steps
+        self.optimizer.zero_grad()
+        total = 0.0
+        for _ in range(k):
+            samples, plans = next_micro()
+            loss = self.model.loss(samples, rng=self.rng, plans=plans)
+            if k > 1:
+                loss = loss / k
+            loss.backward()
+            total += loss.item()
+        self.optimizer.step()
+        self.model.constrain()
+        return total
+
     def train_step(self) -> float:
-        """One batch: sample → loss → backward → clip → AdaGrad → clamp κ."""
+        """One batch: sample → loss → backward → clip → AdaGrad → clamp κ.
+
+        With ``accumulate_steps=K`` this is K sampled micro-batches and
+        one optimiser step; the returned loss is their (1/K-scaled)
+        sum, i.e. the mean micro loss.
+        """
         cache = self.model.encoder.draw_cache
         if cache is not None and self._steps_done % self.config.plan_refresh == 0:
             cache.clear()
         self._steps_done += 1
-        samples = self._next_batch()
-        self.optimizer.zero_grad()
-        loss = self.model.loss(samples, rng=self.rng)
-        loss.backward()
-        self.optimizer.step()
-        self.model.constrain()
-        return loss.item()
+        return self._accumulate_micro(lambda: (self._next_batch(), None))
 
     def train(self, steps: Optional[int] = None,
               log_every: int = 0) -> TrainingReport:
@@ -213,10 +323,15 @@ class Trainer:
         The ``plan_refresh`` draw cache lives only for the duration of
         the loop — it is detached before returning so post-training
         inference (index builds, evaluation) never reuses frozen
-        training-time neighbour draws.
+        training-time neighbour draws.  With ``prefetch_workers > 0``
+        the cache is owned by the producer's workers instead and the
+        encoder never carries one.
         """
         steps = steps if steps is not None else self.config.steps
-        if self.config.plan_refresh > 1:
+        cfg = self.config
+        if cfg.prefetch_workers > 0:
+            return self._train_prefetched(steps, log_every)
+        if cfg.plan_refresh > 1:
             self.model.encoder.draw_cache = NeighborDrawCache()
         losses: List[float] = []
         start = time.perf_counter()
@@ -230,5 +345,66 @@ class Trainer:
         finally:
             self.model.encoder.draw_cache = None
         elapsed = time.perf_counter() - start
-        return TrainingReport(losses=losses, wall_seconds=elapsed, steps=steps,
-                              samples_seen=steps * self.config.batch_size)
+        return TrainingReport(
+            losses=losses, wall_seconds=elapsed, steps=steps,
+            samples_seen=steps * cfg.batch_size * cfg.accumulate_steps)
+
+    def make_producer(self, steps: Optional[int] = None,
+                      num_workers: Optional[int] = None) -> PlanProducer:
+        """A :class:`PlanProducer` configured like this trainer's loop.
+
+        One producer *step* is one micro-batch, so the producer runs
+        ``steps * accumulate_steps`` payloads.  Exposed separately so
+        benchmarks and tests can consume the payload stream directly.
+        """
+        cfg = self.config
+        steps = steps if steps is not None else cfg.steps
+        encoder = self.model.encoder
+        return PlanProducer(
+            self.walker, self.negative_sampler,
+            total_steps=steps * cfg.accumulate_steps,
+            batch_size=cfg.batch_size, gcn_layers=encoder.gcn_layers,
+            neighbor_samples=encoder.neighbor_samples, seed=cfg.seed,
+            num_workers=(cfg.prefetch_workers if num_workers is None
+                         else num_workers),
+            depth=cfg.prefetch_depth, plan_refresh=cfg.plan_refresh,
+            walks_per_round=self._walks_per_round)
+
+    def _train_prefetched(self, steps: int, log_every: int) -> TrainingReport:
+        """The overlapped loop: consume producer payloads in step order.
+
+        Batches and per-role plans arrive pre-built; the loss replays
+        the captured draws, so the main process touches only the tape.
+        The payload for micro-step ``i`` is a pure function of
+        ``(seed, i)`` (see :mod:`repro.training.prefetch`), which makes
+        the loss trajectory independent of the worker count (asserted
+        in tests; the synchronous path interleaves sampling with
+        encoding on one stream, so it is a *statistically* equivalent
+        reference, not a bit-equal one).
+        """
+        cfg = self.config
+        losses: List[float] = []
+        producer = self.make_producer(steps)
+        with producer:
+            # workers have completed their ready handshake here, so the
+            # clock measures the steady-state loop, not spawn start-up
+            # (the synchronous path pays no start-up either)
+            start = time.perf_counter()
+            stream = iter(producer)
+
+            def next_micro():
+                payload = next(stream)
+                return payload.batch, payload.plans
+
+            for step in range(steps):
+                self._steps_done += 1
+                losses.append(self._accumulate_micro(next_micro))
+                if log_every and (step + 1) % log_every == 0:
+                    print("step %4d  loss %.4f  |grad| %.3f" %
+                          (step + 1, losses[-1],
+                           self.optimizer.last_grad_norm))
+            elapsed = time.perf_counter() - start
+        return TrainingReport(
+            losses=losses, wall_seconds=elapsed, steps=steps,
+            samples_seen=steps * cfg.batch_size * cfg.accumulate_steps,
+            prefetch_wait_seconds=producer.wait_seconds)
