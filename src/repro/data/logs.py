@@ -65,6 +65,18 @@ class BehaviorLog:
                 counts[key] = counts.get(key, 0) + 1
         return counts
 
+    def query_counts(self) -> dict:
+        """``query -> number of sessions posing it``.
+
+        The empirical popularity ranking the serving traffic harness
+        (:class:`~repro.serving.traffic.TrafficGenerator`) re-shapes
+        into its Zipf head-skewed replay marginal.
+        """
+        counts: dict = {}
+        for session in self.sessions:
+            counts[session.query] = counts.get(session.query, 0) + 1
+        return counts
+
 
 def merge_logs(logs: Sequence[BehaviorLog]) -> BehaviorLog:
     """Concatenate several daily logs into one window (paper's 7-day log)."""

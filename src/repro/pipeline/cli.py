@@ -17,6 +17,8 @@ Examples::
     python -m repro run --config c.json --set training.steps=500 \
         --set model.name=amcad_e --artifacts artifacts/euclidean
     python -m repro serve --artifacts artifacts/tiny --queries 3,14,15
+    python -m repro serve --artifacts artifacts/tiny --requests 64 \
+        --qps 500 --set serving.admission_deadline_ms=20
     python -m repro index --artifacts artifacts/tiny \
         --set index.backend=sharded --set index.num_shards=4
     python -m repro eval --artifacts artifacts/tiny
@@ -68,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "not given (default: %(default)s)")
     serve.add_argument("--k", type=int, default=None,
                        help="ads per request (default: config serving.k)")
+    serve.add_argument("--qps", type=float, default=None,
+                       help="offer the requests at this QPS (Poisson "
+                            "arrivals on a virtual clock) through the "
+                            "SLO-aware admission controller instead of the "
+                            "raw bulk path; prints queue latency "
+                            "percentiles and the shed count")
+    serve.add_argument("--set", dest="overrides", action="append",
+                       default=[], metavar="SECTION.KEY=VALUE",
+                       help="override a serving-time config value, e.g. "
+                            "serving.admission_deadline_ms=20")
     serve.add_argument("--seed", type=int, default=0)
 
     index = sub.add_parser(
@@ -148,9 +160,12 @@ def _parse_requests(args, num_queries: int, num_items: int):
 
 def _cmd_serve(args) -> int:
     pipeline = Pipeline.from_artifacts(args.artifacts)
+    _apply_section_overrides(pipeline, args.overrides, "serving")
     sim_cfg = pipeline.config.data.simulator_config()
     queries, preclicks = _parse_requests(args, sim_cfg.num_queries,
                                          sim_cfg.num_items)
+    if args.qps is not None:
+        return _serve_admitted(pipeline, args, queries, preclicks)
     results = pipeline.serve(queries, preclicks, k=args.k)
     for query, items, result in zip(queries, preclicks, results):
         ads = ", ".join("%d (%.3f)" % (ad, score)
@@ -160,6 +175,39 @@ def _cmd_serve(args) -> int:
     stats = pipeline.engine.stats
     print("served %d request(s) in %d micro-batch(es), %.3f ms/request"
           % (stats.requests, stats.batches, 1000.0 * stats.service_seconds))
+    return 0
+
+
+def _serve_admitted(pipeline, args, queries, preclicks) -> int:
+    """Route the requests through the SLO-aware admission controller."""
+    if not args.qps > 0:
+        raise SystemExit("--qps must be > 0, got %r" % args.qps)
+    controller = pipeline.make_admission_controller(keep_results=True)
+    if args.k is not None:
+        controller.k = args.k
+    rng = np.random.default_rng(args.seed)
+    arrival = 0.0
+    for query, items in zip(queries, preclicks):
+        arrival += float(rng.exponential(1.0 / args.qps))
+        controller.offer(arrival, query, items)
+    controller.drain()
+    for request, result in controller.results:
+        ads = ", ".join("%d (%.3f)" % (ad, score)
+                        for ad, score in zip(result.ads, result.scores))
+        print("query %-5d preclicks %-12s -> %s"
+              % (request.query, list(request.preclicks) or "[]",
+                 ads or "(no ads)"))
+    stats = controller.stats
+    latency = stats.latency_percentiles()
+    print("admitted %d/%d request(s) at %.0f qps (shed %d: %d queue-full, "
+          "%d deadline)"
+          % (stats.served, stats.offered, args.qps, stats.shed,
+             stats.shed_queue, stats.shed_deadline))
+    print("latency p50/p95/p99: %.3f / %.3f / %.3f ms  (queue deadline "
+          "%.0f ms, max batch %d)"
+          % (1000.0 * latency["p50"], 1000.0 * latency["p95"],
+             1000.0 * latency["p99"], 1000.0 * controller.deadline,
+             controller.max_batch))
     return 0
 
 

@@ -293,6 +293,16 @@ class ServingConfig:
     qps_sweep: List[float] = dataclasses.field(
         default_factory=lambda: [1000.0, 5000.0, 10000.0, 30000.0, 50000.0])
     seed: int = 0
+    #: admission-queue watermark: arrivals beyond this depth are shed
+    admission_max_queue: int = 256
+    #: per-request queueing budget (ms): partial batches dispatch when
+    #: the oldest pending request has spent it, and requests that would
+    #: wait longer are shed at dispatch
+    admission_deadline_ms: float = 50.0
+    #: fill target per admitted micro-batch (0 = ``max_batch_size``)
+    admission_max_batch: int = 0
+    #: fraction of the admission queue reserved for the paid lane
+    admission_priority_share: float = 0.0
 
     def __post_init__(self):
         if self.k < 1 or self.expansion_k < 1 or self.ads_per_key < 1:
@@ -310,6 +320,34 @@ class ServingConfig:
                              "got %r" % self.target_utilisation)
         if self.target_qps <= 0:
             raise ValueError("serving.target_qps must be > 0")
+        if self.admission_max_queue < 1:
+            raise ValueError("serving.admission_max_queue must be >= 1, "
+                             "got %d" % self.admission_max_queue)
+        if not self.admission_deadline_ms > 0:
+            raise ValueError("serving.admission_deadline_ms must be > 0, "
+                             "got %r" % self.admission_deadline_ms)
+        if self.admission_max_batch < 0:
+            raise ValueError("serving.admission_max_batch must be >= 0 "
+                             "(0 adopts max_batch_size), got %d"
+                             % self.admission_max_batch)
+        if not 0.0 <= self.admission_priority_share <= 1.0:
+            raise ValueError("serving.admission_priority_share must be in "
+                             "[0, 1], got %r" % self.admission_priority_share)
+
+    def admission_kwargs(self) -> Dict[str, Any]:
+        """Constructor kwargs for an ``AdmissionController`` over the engine.
+
+        ``admission_max_batch=0`` resolves to the engine's
+        ``max_batch_size``, so the admission layer fills batches to the
+        same width the engine would slice them at.
+        """
+        return {
+            "max_queue": self.admission_max_queue,
+            "deadline_ms": self.admission_deadline_ms,
+            "max_batch": self.admission_max_batch or self.max_batch_size,
+            "priority_share": self.admission_priority_share,
+            "k": self.k,
+        }
 
 
 @dataclasses.dataclass

@@ -138,6 +138,21 @@ class Pipeline:
         return self.engine.serve(queries, preclicks,
                                  k=k if k is not None else self.config.serving.k)
 
+    def make_admission_controller(self, num_workers: int = 1,
+                                  keep_results: bool = False):
+        """An :class:`AdmissionController` over this pipeline's engine.
+
+        Configured entirely from the persisted ``serving.admission_*``
+        keys — the SLO-aware front of the serving plane for callers
+        (e.g. ``python -m repro serve --qps``) that want
+        arrival-timestamped, shed-aware serving rather than the raw
+        bulk path.
+        """
+        from repro.serving.admission import AdmissionController
+        return AdmissionController(self.engine, num_workers=num_workers,
+                                   keep_results=keep_results,
+                                   **self.config.serving.admission_kwargs())
+
     # -- artifact-restored stage reruns (CLI ``index`` / ``eval``) -----------
 
     def _restore_model_context(self, purpose: str) -> None:

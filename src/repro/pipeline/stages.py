@@ -32,8 +32,10 @@ from repro.pipeline.artifacts import ArtifactStore
 from repro.pipeline.config import PipelineConfig
 from repro.retrieval.index import IndexSet
 from repro.retrieval.two_layer import TwoLayerRetriever
+from repro.serving.admission import AdmissionController
 from repro.serving.engine import ServingEngine
 from repro.serving.simulator import ServingSimulator
+from repro.serving.traffic import TrafficGenerator
 from repro.training.trainer import Trainer
 
 
@@ -312,7 +314,47 @@ class ServeStage(Stage):
                        % (1000.0 * service, 100.0 * stats.cache_hit_rate,
                           ctx.fleet_workers, cfg.target_qps),
         })
+        admission = self._admission_probe(ctx, service)
+        if admission is not None:
+            info["admission"] = admission
+            info["summary"] += ", admission p99 %.2f ms (shed %.0f%%)" % (
+                admission["latency_ms"]["p99"],
+                100.0 * admission["shed_rate"])
         return info
+
+    @staticmethod
+    def _admission_probe(ctx: PipelineContext, service: float):
+        """Drive the admission layer over replayed log sessions.
+
+        One short closed-loop run at ~60% of the single-worker
+        saturation implied by the measured batched service time —
+        enough to surface the configured admission knobs, the queue
+        latency percentiles, and any shedding in the stage report.
+        """
+        cfg = ctx.config.serving
+        train_logs = (ctx.logs or [])[:ctx.config.data.train_days]
+        if not any(len(log) for log in train_logs):
+            return None
+        controller = AdmissionController(ctx.engine, num_workers=1,
+                                         **cfg.admission_kwargs())
+        # the probe replays the training window's sessions; the paid
+        # share is fixed — lane policy is an admission knob, not a
+        # traffic one
+        traffic = TrafficGenerator(train_logs, paid_share=0.25,
+                                   seed=cfg.seed)
+        probe_qps = 0.6 / max(service, 1e-9)
+        duration = cfg.measure_requests / probe_qps
+        report = traffic.drive(controller, qps=probe_qps, duration=duration)
+        payload = controller.stats.summary()
+        payload.update({
+            "max_queue": controller.max_queue,
+            "deadline_ms": 1000.0 * controller.deadline,
+            "max_batch": controller.max_batch,
+            "priority_share": controller.priority_share,
+            "probe_qps": probe_qps,
+            "achieved_qps": report.achieved_qps,
+        })
+        return payload
 
 
 class EvalStage(Stage):

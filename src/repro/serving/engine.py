@@ -71,6 +71,23 @@ class LRUCache:
         self._store.clear()
 
 
+def percentiles(samples: Sequence[float],
+                points: Sequence[float] = (50.0, 95.0, 99.0)) -> dict:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` over latency samples.
+
+    The shared summary shape of :class:`EngineStats` and the admission
+    layer's :class:`~repro.serving.admission.AdmissionStats`, so the
+    bare engine and the admitted path report comparable numbers.
+    Empty samples yield all-zero percentiles (idle system).
+    """
+    keys = ["p%g" % p for p in points]
+    if len(samples) == 0:
+        return {key: 0.0 for key in keys}
+    values = np.percentile(np.asarray(samples, dtype=np.float64),
+                           list(points))
+    return {key: float(value) for key, value in zip(keys, values)}
+
+
 @dataclasses.dataclass
 class EngineStats:
     """Counters and timings accumulated by a :class:`ServingEngine`."""
@@ -86,6 +103,10 @@ class EngineStats:
     #: Wall latency per micro-batch: the slowest shard slice when the
     #: batch fans out, the full batch time otherwise.
     batch_wall_seconds: List[float] = dataclasses.field(default_factory=list)
+    #: Wall latency per *request*: time from its arrival (``submit``
+    #: timestamp, or the start of its micro-batch on the bulk paths) to
+    #: the end of the micro-batch that served it.
+    request_wall_seconds: List[float] = dataclasses.field(default_factory=list)
 
     @property
     def total_busy_seconds(self) -> float:
@@ -94,16 +115,22 @@ class EngineStats:
     @property
     def service_seconds(self) -> float:
         """Amortised per-request service time under batching."""
-        return self.total_busy_seconds / max(self.requests, 1)
+        if self.requests == 0:
+            return 0.0
+        return self.total_busy_seconds / self.requests
 
     @property
     def mean_batch_size(self) -> float:
-        return self.requests / max(self.batches, 1)
+        if self.batches == 0:
+            return 0.0
+        return self.requests / self.batches
 
     @property
     def cache_hit_rate(self) -> float:
         looked_up = self.cache_hits + self.cache_misses
-        return self.cache_hits / max(looked_up, 1)
+        if looked_up == 0:
+            return 0.0
+        return self.cache_hits / looked_up
 
     @property
     def throughput_rps(self) -> float:
@@ -117,6 +144,10 @@ class EngineStats:
         if not self.batch_wall_seconds:
             return 0.0
         return float(np.mean(self.batch_wall_seconds))
+
+    def latency_percentiles(self) -> dict:
+        """p50/p95/p99 of the per-request wall latencies (ms-free: seconds)."""
+        return percentiles(self.request_wall_seconds)
 
 
 def _signature(query: int, preclicks: Sequence[int]) -> Tuple:
@@ -162,7 +193,7 @@ class ServingEngine:
         self.shard_parallelism = max(int(shard_parallelism), 1)
         self.stats = EngineStats(
             worker_busy_seconds=[0.0] * self.num_workers)
-        self._pending: List[Tuple[int, Sequence[int]]] = []
+        self._pending: List[Tuple[int, Sequence[int], float]] = []
         # the LRU is shared across shard slices; a lock keeps its
         # bookkeeping consistent when slices run on the thread pool
         self._cache_lock = threading.Lock()
@@ -220,9 +251,14 @@ class ServingEngine:
                k: int = 20) -> List["RetrievalResult"]:
         """Queue one request; auto-flushes when a micro-batch fills.
 
-        Returns the flushed batch's results (empty while accumulating).
+        Each submission is arrival-timestamped, so the per-request wall
+        latency recorded at flush time includes the time the request
+        spent pending — the bare-engine analogue of the admission
+        layer's queue+service latency.  Returns the flushed batch's
+        results (empty while accumulating).
         """
-        self._pending.append((int(query), tuple(preclicks)))
+        self._pending.append((int(query), tuple(preclicks),
+                              time.perf_counter()))
         if len(self._pending) >= self.max_batch_size:
             return self.flush(k)
         return []
@@ -231,10 +267,32 @@ class ServingEngine:
         """Serve whatever is pending as one micro-batch."""
         if not self._pending:
             return []
-        queries = np.array([q for q, _ in self._pending], dtype=np.int64)
-        preclicks = [p for _, p in self._pending]
+        queries = np.array([q for q, _, _ in self._pending], dtype=np.int64)
+        preclicks = [p for _, p, _ in self._pending]
+        arrivals = [t for _, _, t in self._pending]
         self._pending = []
-        return self._serve_batch(queries, preclicks, k)
+        return self._serve_batch(queries, preclicks, k, arrivals=arrivals)
+
+    # -- pre-formed batches (the admission layer's entry point) --------------
+
+    def serve_batch(self, queries: Sequence[int],
+                    preclicks: Sequence[Sequence[int]],
+                    k: int = 20) -> Tuple[List["RetrievalResult"], float]:
+        """Serve one pre-formed micro-batch; returns ``(results, wall)``.
+
+        Unlike :meth:`serve` this never re-slices: the caller (e.g. the
+        :class:`~repro.serving.admission.AdmissionController`, which
+        sizes batches by fill-or-deadline) has already decided the batch
+        boundary.  ``wall`` is the measured batch wall latency in
+        seconds — the service-time sample the admission layer charges
+        to its virtual worker.
+        """
+        queries = np.asarray(queries, dtype=np.int64).ravel()
+        if len(preclicks) != queries.size:
+            raise ValueError("got %d queries but %d pre-click lists"
+                             % (queries.size, len(preclicks)))
+        results = self._serve_batch(queries, list(preclicks), k)
+        return results, self.stats.batch_wall_seconds[-1]
 
     @property
     def pending_requests(self) -> int:
@@ -279,7 +337,10 @@ class ServingEngine:
 
     def _serve_batch(self, queries: np.ndarray,
                      preclicks: Sequence[Sequence[int]],
-                     k: int) -> List["RetrievalResult"]:
+                     k: int,
+                     arrivals: Optional[Sequence[float]] = None
+                     ) -> List["RetrievalResult"]:
+        batch_start = time.perf_counter()
         slices = self._shard_slices(queries.size)
         if len(slices) <= 1:
             results, elapsed = self._serve_slice(queries, preclicks, k)
@@ -303,4 +364,10 @@ class ServingEngine:
         self.stats.batches += 1
         self.stats.requests += queries.size
         self.stats.batch_sizes.append(int(queries.size))
+        # per-request wall latency: from arrival (submit timestamp when
+        # known, the batch start otherwise) to the end of the batch
+        end = time.perf_counter()
+        if arrivals is None:
+            arrivals = [batch_start] * int(queries.size)
+        self.stats.request_wall_seconds.extend(end - t for t in arrivals)
         return results

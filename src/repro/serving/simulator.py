@@ -40,6 +40,23 @@ def erlang_b(offered_load: float, servers: int) -> float:
     return blocking
 
 
+def allen_cunneen_wait(arrival_rate: float, service_rate: float,
+                       servers: int, ca2: float = 1.0,
+                       cs2: float = 1.0) -> float:
+    """G/G/c mean-wait approximation: Erlang-C scaled by ``(ca²+cs²)/2``.
+
+    ``ca2``/``cs2`` are the squared coefficients of variation of the
+    inter-arrival and service processes (1.0 each recovers M/M/c; a
+    near-deterministic service pushes ``cs2 → 0`` and halves the
+    Erlang-C wait, the M/D/c limit).  This is what calibrating the
+    simulator against the *measured* admission+engine system uses: the
+    engine's service times are not exponential, so the fair prediction
+    applies the measured ``cs2``.
+    """
+    scale = 0.5 * (ca2 + cs2)
+    return scale * erlang_c_wait(arrival_rate, service_rate, servers)
+
+
 def erlang_c_wait(arrival_rate: float, service_rate: float,
                   servers: int) -> float:
     """Mean queueing delay of an M/M/c system (seconds).
@@ -163,6 +180,19 @@ class ServingSimulator:
                 response_time_ms=1000.0 * response,
                 utilisation=qps / (self.num_workers * service_rate)))
         return stats
+
+    def predict_wait(self, qps: float, ca2: float = 1.0,
+                     cs2: float = 1.0) -> float:
+        """Predicted mean queueing wait (seconds) at offered load ``qps``.
+
+        With the default ``ca2 = cs2 = 1`` this is the plain Erlang-C
+        (M/M/c) wait; pass the measured squared coefficients of
+        variation to get the :func:`allen_cunneen_wait` G/G/c
+        correction — the prediction the admission-layer calibration
+        (``benchmarks/bench_serving_async.py``) compares against.
+        """
+        return allen_cunneen_wait(qps, 1.0 / self.service_seconds,
+                                  self.num_workers, ca2=ca2, cs2=cs2)
 
     def saturation_qps(self) -> float:
         """Offered load at which the fleet saturates (λ = c·μ)."""

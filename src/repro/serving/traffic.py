@@ -1,0 +1,351 @@
+"""Closed-loop traffic harness: replayed sessions, skewed arrivals.
+
+Turns the admission layer into a measurable system.  A
+:class:`TrafficGenerator` builds its request population from real
+:mod:`repro.data.logs` sessions — the query marginal is re-shaped into
+a Zipf head-skew over the empirically most-searched queries, and each
+request carries the pre-click items of an actual session posing that
+query — then lays the requests on a virtual arrival timeline:
+
+- ``"poisson"`` — homogeneous Poisson at the target offered QPS;
+- ``"bursty"``  — a two-state Markov-modulated Poisson process: calm
+  phases interrupted by bursts at ``burstiness`` times the base rate,
+  time-shares chosen so the *mean* offered rate stays on target;
+- ``"diurnal"`` — sinusoidally modulated Poisson (Lewis thinning),
+  the scaled-down analogue of the platform's daily traffic curve.
+
+:meth:`TrafficGenerator.drive` closes the loop: it offers the stream
+to an :class:`~repro.serving.admission.AdmissionController`, drains
+it, and reports achieved QPS, shed rate and latency percentiles — the
+numbers a capacity plan is made of.  Request streams are a pure
+function of the seed, so experiments replay exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.logs import BehaviorLog, Session
+from repro.graph.schema import NodeType
+from repro.serving.admission import AdmissionController
+
+#: Registered arrival processes.
+ARRIVAL_PROCESSES = ("poisson", "bursty", "diurnal")
+
+
+@dataclasses.dataclass
+class TrafficRequest:
+    """One request on the offered timeline."""
+
+    arrival: float
+    query: int
+    preclicks: Tuple[int, ...]
+    lane: str
+
+
+@dataclasses.dataclass
+class TrafficReport:
+    """What one closed-loop drive measured."""
+
+    process: str
+    target_qps: float
+    duration: float
+    offered: int
+    offered_qps: float
+    served: int
+    achieved_qps: float
+    shed: int
+    shed_rate: float
+    mean_wait_ms: float
+    wait_ms: Dict[str, float]
+    latency_ms: Dict[str, float]
+    mean_batch_size: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class SyntheticService:
+    """Drop-in engine stub drawing service times instead of retrieving.
+
+    Implements the admission layer's engine contract
+    (``serve_batch -> (results, seconds)``) with seeded draws: one
+    service sample per request, summed over the batch.  With
+    ``distribution="exponential"`` an ``AdmissionController`` over this
+    stub *is* an M/M/c queue (at ``max_batch=1``), which is what the
+    Erlang-C calibration test exercises without paying for real
+    retrievals; ``"deterministic"`` gives the M/D/c reference point.
+    """
+
+    DISTRIBUTIONS = ("exponential", "deterministic")
+
+    def __init__(self, mean_seconds: float,
+                 distribution: str = "exponential", seed: int = 0,
+                 max_batch_size: int = 1):
+        if not mean_seconds > 0:
+            raise ValueError("mean_seconds must be > 0, got %r"
+                             % mean_seconds)
+        if distribution not in self.DISTRIBUTIONS:
+            raise ValueError("distribution must be one of %s, got %r"
+                             % ("/".join(self.DISTRIBUTIONS), distribution))
+        self.mean_seconds = float(mean_seconds)
+        self.distribution = distribution
+        self.max_batch_size = int(max_batch_size)
+        self._rng = np.random.default_rng(seed)
+        self.batches_served = 0
+
+    def serve_batch(self, queries: Sequence[int],
+                    preclicks: Sequence[Sequence[int]],
+                    k: int = 20) -> Tuple[List[None], float]:
+        n = len(queries)
+        if self.distribution == "exponential":
+            service = float(self._rng.exponential(self.mean_seconds, size=n)
+                            .sum())
+        else:
+            service = self.mean_seconds * n
+        self.batches_served += 1
+        return [None] * n, service
+
+
+def _as_sessions(logs) -> List[Session]:
+    """Accept a BehaviorLog, a list of logs, or a bare session list."""
+    if isinstance(logs, BehaviorLog):
+        return list(logs.sessions)
+    sessions: List[Session] = []
+    for entry in logs:
+        if isinstance(entry, BehaviorLog):
+            sessions.extend(entry.sessions)
+        elif isinstance(entry, Session):
+            sessions.append(entry)
+        else:
+            raise TypeError("expected BehaviorLog or Session entries, got %r"
+                            % type(entry).__name__)
+    return sessions
+
+
+class TrafficGenerator:
+    """Session-grounded request streams with a Zipf head and skewed arrivals.
+
+    Parameters
+    ----------
+    logs:
+        A :class:`~repro.data.logs.BehaviorLog` (or list of logs /
+        sessions) whose sessions form the request population.  Queries
+        are ranked by how many sessions posed them; the replayed
+        marginal assigns rank ``r`` probability ``∝ (r+1)^-zipf_exponent``
+        — the head queries of the log dominate, as on the real platform.
+    zipf_exponent:
+        Head skew (0 = replay the ranked queries uniformly).
+    paid_share:
+        Probability a request rides the ``"paid"`` priority lane.
+    max_preclicks:
+        Pre-click items carried per request, taken from the sampled
+        session's actual item clicks.
+    process:
+        Arrival process (``"poisson"`` / ``"bursty"`` / ``"diurnal"``).
+    burstiness, burst_fraction, burst_cycle_seconds:
+        Bursty process shape: bursts run at ``burstiness ×`` the base
+        rate for ``burst_fraction`` of the time (mean phase cycle
+        ``burst_cycle_seconds``), calm phases are slowed so the mean
+        offered rate stays on target — requires
+        ``burstiness * burst_fraction < 1``.
+    diurnal_amplitude, diurnal_period_seconds:
+        Diurnal modulation depth (0..1) and period.
+    seed:
+        Streams are a pure function of ``(seed, qps, duration)``.
+    """
+
+    def __init__(self, logs, zipf_exponent: float = 1.1,
+                 paid_share: float = 0.2, max_preclicks: int = 2,
+                 process: str = "poisson",
+                 burstiness: float = 4.0, burst_fraction: float = 0.1,
+                 burst_cycle_seconds: float = 2.0,
+                 diurnal_amplitude: float = 0.5,
+                 diurnal_period_seconds: float = 60.0,
+                 seed: int = 0):
+        sessions = _as_sessions(logs)
+        if not sessions:
+            raise ValueError("traffic needs at least one session to replay")
+        if zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be >= 0, got %r"
+                             % zipf_exponent)
+        if not 0.0 <= paid_share <= 1.0:
+            raise ValueError("paid_share must be in [0, 1], got %r"
+                             % paid_share)
+        if max_preclicks < 0:
+            raise ValueError("max_preclicks must be >= 0, got %d"
+                             % max_preclicks)
+        if process not in ARRIVAL_PROCESSES:
+            raise ValueError("process must be one of %s, got %r"
+                             % ("/".join(ARRIVAL_PROCESSES), process))
+        if burstiness < 1.0:
+            raise ValueError("burstiness must be >= 1, got %r" % burstiness)
+        if not 0.0 < burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in (0, 1), got %r"
+                             % burst_fraction)
+        if burstiness * burst_fraction >= 1.0:
+            raise ValueError(
+                "burstiness * burst_fraction must be < 1 (got %.2f) so calm "
+                "phases can compensate and keep the mean rate on target"
+                % (burstiness * burst_fraction))
+        if not 0.0 <= diurnal_amplitude <= 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1], got %r"
+                             % diurnal_amplitude)
+        if not (diurnal_period_seconds > 0 and burst_cycle_seconds > 0):
+            raise ValueError("periods must be > 0")
+        self.zipf_exponent = float(zipf_exponent)
+        self.paid_share = float(paid_share)
+        self.max_preclicks = int(max_preclicks)
+        self.process = process
+        self.burstiness = float(burstiness)
+        self.burst_fraction = float(burst_fraction)
+        self.burst_cycle_seconds = float(burst_cycle_seconds)
+        self.diurnal_amplitude = float(diurnal_amplitude)
+        self.diurnal_period_seconds = float(diurnal_period_seconds)
+        self.seed = int(seed)
+
+        # rank queries by empirical session count (ties by id, so the
+        # ranking — and hence the stream — is deterministic), and keep
+        # each query's sessions for pre-click replay
+        counts: Dict[int, int] = {}
+        self._sessions_by_query: Dict[int, List[Session]] = {}
+        for session in sessions:
+            counts[session.query] = counts.get(session.query, 0) + 1
+            self._sessions_by_query.setdefault(session.query, []).append(
+                session)
+        self.ranked_queries = np.array(
+            sorted(counts, key=lambda q: (-counts[q], q)), dtype=np.int64)
+        ranks = np.arange(1, self.ranked_queries.size + 1, dtype=np.float64)
+        weights = ranks ** -self.zipf_exponent
+        self.query_probs = weights / weights.sum()
+
+    # -- arrival processes ---------------------------------------------------
+
+    def _arrivals(self, rng: np.random.Generator, qps: float,
+                  duration: float) -> np.ndarray:
+        if self.process == "poisson":
+            return self._poisson_arrivals(rng, qps, duration)
+        if self.process == "bursty":
+            return self._bursty_arrivals(rng, qps, duration)
+        return self._diurnal_arrivals(rng, qps, duration)
+
+    @staticmethod
+    def _poisson_arrivals(rng, qps, duration) -> np.ndarray:
+        # draw gaps in chunks until the horizon is crossed
+        times: List[np.ndarray] = []
+        t = 0.0
+        while t < duration:
+            gaps = rng.exponential(1.0 / qps, size=max(int(qps * duration), 16))
+            chunk = t + np.cumsum(gaps)
+            times.append(chunk)
+            t = float(chunk[-1])
+        arrivals = np.concatenate(times)
+        return arrivals[arrivals < duration]
+
+    def _bursty_arrivals(self, rng, qps, duration) -> np.ndarray:
+        f = self.burst_fraction
+        burst_rate = self.burstiness * qps
+        calm_rate = qps * (1.0 - self.burstiness * f) / (1.0 - f)
+        times: List[np.ndarray] = []
+        t, in_burst = 0.0, False
+        while t < duration:
+            mean_len = self.burst_cycle_seconds * (f if in_burst else 1.0 - f)
+            phase = float(rng.exponential(mean_len))
+            rate = burst_rate if in_burst else calm_rate
+            if rate > 0 and phase > 0:
+                expected = max(int(rate * phase * 1.5) + 8, 8)
+                gaps = rng.exponential(1.0 / rate, size=expected)
+                chunk = t + np.cumsum(gaps)
+                chunk = chunk[chunk < t + phase]
+                # top up in the unlikely case the overdraw fell short
+                while chunk.size and chunk[-1] < t + phase:
+                    more = chunk[-1] + np.cumsum(
+                        rng.exponential(1.0 / rate, size=8))
+                    chunk = np.concatenate([chunk, more[more < t + phase]])
+                    if more[-1] >= t + phase:
+                        break
+                times.append(chunk)
+            t += phase
+            in_burst = not in_burst
+        arrivals = (np.concatenate(times) if times
+                    else np.empty(0, dtype=np.float64))
+        return arrivals[arrivals < duration]
+
+    def _diurnal_arrivals(self, rng, qps, duration) -> np.ndarray:
+        # Lewis thinning against the peak rate
+        peak = qps * (1.0 + self.diurnal_amplitude)
+        candidates = self._poisson_arrivals(rng, peak, duration)
+        phase = 2.0 * np.pi * candidates / self.diurnal_period_seconds
+        rate = qps * (1.0 + self.diurnal_amplitude * np.sin(phase))
+        keep = rng.random(candidates.size) < rate / peak
+        return candidates[keep]
+
+    # -- the request stream --------------------------------------------------
+
+    def generate(self, qps: float, duration: float,
+                 seed: Optional[int] = None) -> List[TrafficRequest]:
+        """The request stream of one run — deterministic in the seed."""
+        if not qps > 0:
+            raise ValueError("qps must be > 0, got %r" % qps)
+        if not duration > 0:
+            raise ValueError("duration must be > 0, got %r" % duration)
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        arrivals = self._arrivals(rng, qps, duration)
+        n = arrivals.size
+        query_idx = rng.choice(self.ranked_queries.size, size=n,
+                               p=self.query_probs)
+        paid = rng.random(n) < self.paid_share
+        requests: List[TrafficRequest] = []
+        for i in range(n):
+            query = int(self.ranked_queries[query_idx[i]])
+            sessions = self._sessions_by_query[query]
+            session = sessions[int(rng.integers(len(sessions)))]
+            items = session.clicked_of_type(NodeType.ITEM)
+            requests.append(TrafficRequest(
+                arrival=float(arrivals[i]), query=query,
+                preclicks=tuple(items[:self.max_preclicks]),
+                lane="paid" if paid[i] else "organic"))
+        return requests
+
+    # -- the closed loop -----------------------------------------------------
+
+    def drive(self, controller: AdmissionController, qps: float,
+              duration: float, seed: Optional[int] = None) -> TrafficReport:
+        """Offer one generated stream to a (fresh) controller and drain it.
+
+        The report reads the controller's stats, so hand in a fresh
+        controller per drive; achieved QPS is served requests over the
+        virtual makespan (arrival horizon or last service completion,
+        whichever is later).
+        """
+        if controller.stats.offered:
+            raise ValueError("drive() needs a fresh controller (it reports "
+                             "cumulative stats); this one already saw %d "
+                             "requests" % controller.stats.offered)
+        requests = self.generate(qps, duration, seed=seed)
+        for request in requests:
+            controller.offer(request.arrival, request.query,
+                             request.preclicks, lane=request.lane)
+        makespan = max(controller.drain(), duration)
+        stats = controller.stats
+        served = stats.served
+        return TrafficReport(
+            process=self.process,
+            target_qps=float(qps),
+            duration=float(duration),
+            offered=len(requests),
+            offered_qps=len(requests) / duration,
+            served=served,
+            achieved_qps=served / makespan,
+            shed=stats.shed,
+            shed_rate=stats.shed_rate,
+            mean_wait_ms=1000.0 * stats.mean_wait_seconds,
+            wait_ms={key: 1000.0 * value
+                     for key, value in stats.wait_percentiles().items()},
+            latency_ms={key: 1000.0 * value
+                        for key, value in stats.latency_percentiles().items()},
+            mean_batch_size=stats.mean_batch_size,
+        )

@@ -97,6 +97,34 @@ class TestConfig:
             PipelineConfig.from_dict(
                 {"serving": {"preclicks_per_request": -1}})
 
+    def test_admission_keys_validated(self):
+        with pytest.raises(ValueError, match="admission_max_queue"):
+            PipelineConfig.from_dict({"serving": {"admission_max_queue": 0}})
+        with pytest.raises(ValueError, match="admission_deadline_ms"):
+            PipelineConfig.from_dict(
+                {"serving": {"admission_deadline_ms": 0}})
+        with pytest.raises(ValueError, match="admission_max_batch"):
+            PipelineConfig.from_dict(
+                {"serving": {"admission_max_batch": -1}})
+        with pytest.raises(ValueError, match="admission_priority_share"):
+            PipelineConfig.from_dict(
+                {"serving": {"admission_priority_share": 1.5}})
+
+    def test_admission_keys_settable_and_forwarded(self):
+        config = tiny_config().with_overrides(
+            ["serving.admission_max_queue=64",
+             "serving.admission_deadline_ms=20.0",
+             "serving.admission_priority_share=0.5"])
+        kwargs = config.serving.admission_kwargs()
+        assert kwargs["max_queue"] == 64
+        assert kwargs["deadline_ms"] == 20.0
+        assert kwargs["priority_share"] == 0.5
+        assert kwargs["k"] == config.serving.k
+        # admission_max_batch=0 (the default) adopts the engine batch
+        assert kwargs["max_batch"] == config.serving.max_batch_size
+        explicit = config.with_overrides(["serving.admission_max_batch=3"])
+        assert explicit.serving.admission_kwargs()["max_batch"] == 3
+
     def test_bad_day_split_rejected(self):
         with pytest.raises(ValueError, match="train_days"):
             PipelineConfig.from_dict({"data": {"days": 2, "train_days": 3}})

@@ -81,6 +81,28 @@ def test_serve_rejects_preclicks_without_queries(cli_artifacts):
                   "--preclicks", "1,2"])
 
 
+def test_serve_qps_routes_through_admission(cli_artifacts, capsys):
+    assert cli.main(["serve", "--artifacts", str(cli_artifacts),
+                     "--requests", "5", "--qps", "200",
+                     "--set", "serving.admission_deadline_ms=20"]) == 0
+    out = capsys.readouterr().out
+    assert "admitted 5/5 request(s) at 200 qps" in out
+    assert "latency p50/p95/p99" in out
+    assert "queue deadline 20 ms" in out
+
+
+def test_serve_qps_rejects_nonpositive(cli_artifacts):
+    with pytest.raises(SystemExit, match="--qps"):
+        cli.main(["serve", "--artifacts", str(cli_artifacts),
+                  "--requests", "2", "--qps", "0"])
+
+
+def test_serve_rejects_non_serving_overrides(cli_artifacts):
+    with pytest.raises(SystemExit, match="serving.* overrides"):
+        cli.main(["serve", "--artifacts", str(cli_artifacts),
+                  "--set", "training.steps=1"])
+
+
 def test_index_rebuilds_and_reshards(cli_artifacts, capsys):
     try:
         assert cli.main(["index", "--artifacts", str(cli_artifacts),
@@ -139,6 +161,32 @@ def test_run_accepts_prefetch_workers_override(tmp_path, capsys):
     train = [s for s in report["stages"] if s["name"] == "train"][0]
     assert train["info"]["prefetch_workers"] == 2
     assert 0.0 <= train["info"]["prefetch_overlap_fraction"] <= 1.0
+
+
+def test_run_admission_overrides_smoke(tmp_path, capsys):
+    """`run --set serving.admission_*` reaches the persisted config and
+    the serve stage's closed-loop admission probe."""
+    config_path = tmp_path / "config.json"
+    config_path.write_text(json.dumps(TINY_CLI))
+    artifact_dir = tmp_path / "artifacts"
+    code = cli.main(["run", "--config", str(config_path),
+                     "--artifacts", str(artifact_dir),
+                     "--set", "serving.admission_deadline_ms=50",
+                     "--set", "serving.admission_max_queue=64", "--quiet"])
+    assert code == 0
+    config = json.loads((artifact_dir / "config.json").read_text())
+    assert config["serving"]["admission_deadline_ms"] == 50
+    assert config["serving"]["admission_max_queue"] == 64
+    report = json.loads((artifact_dir / "report.json").read_text())
+    serve = [s for s in report["stages"] if s["name"] == "serve"][0]
+    admission = serve["info"]["admission"]
+    assert admission["deadline_ms"] == 50.0
+    assert admission["max_queue"] == 64
+    assert admission["served"] > 0
+    assert admission["shed_rate"] <= 1.0
+    # served requests met the queue-wait SLO by construction
+    assert admission["wait_ms"]["p99"] <= 50.0 + 1e-9
+    assert "admission p99" in serve["info"]["summary"]
 
 
 def test_models_listing(capsys):

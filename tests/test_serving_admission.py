@@ -1,0 +1,308 @@
+"""Admission layer: bounded queue, lanes, fill-or-deadline, calibration.
+
+The calibration tests are the contract that makes the Erlang-C
+:class:`ServingSimulator` a trustworthy capacity-planning tool:
+
+- over a :class:`SyntheticService` with exponential draws the
+  controller at ``max_batch=1`` *is* an M/M/c queue, and its measured
+  mean wait must match ``erlang_c_wait`` within **±35%** (sampling
+  noise of ~8k requests at a fixed seed — the documented tight band);
+- with deterministic service it is M/D/c and must match the
+  ``allen_cunneen_wait`` correction (``cs2=0``) within the same band;
+- with the *real* :class:`ServingEngine` in the loop, measured service
+  times are noisy on shared CI hardware, so the documented band is
+  wide (**ratio in [0.2, 5]** at three sub-saturation loads) — the
+  tight engine-backed agreement gate lives in
+  ``benchmarks/bench_serving_async.py`` where thousands of requests
+  amortise the noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import make_model
+from repro.retrieval import IndexSet, TwoLayerRetriever
+from repro.serving import (
+    AdmissionController,
+    AdmissionStats,
+    ServingEngine,
+    SyntheticService,
+    TrafficGenerator,
+    allen_cunneen_wait,
+    erlang_c_wait,
+)
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def retriever(train_graph):
+    model = make_model("amcad", train_graph, num_subspaces=2, subspace_dim=4,
+                       seed=23)
+    Trainer(model, TrainerConfig(steps=12, batch_size=32, seed=23)).train()
+    return TwoLayerRetriever(IndexSet(model, top_k=15).build(),
+                             expansion_k=4, ads_per_key=4)
+
+
+def det_service(mean=0.01, max_batch=1):
+    return SyntheticService(mean, "deterministic", max_batch_size=max_batch)
+
+
+class TestAdmissionQueue:
+    def test_fill_dispatch(self):
+        """A full batch dispatches at the max_batch-th arrival time."""
+        ctrl = AdmissionController(det_service(), max_batch=4,
+                                   deadline_ms=1e6, num_workers=1)
+        for i, t in enumerate([0.0, 0.001, 0.002, 0.003]):
+            assert ctrl.offer(t, query=i)
+        ctrl.drain()
+        # the batch went out at t=0.003, the arrival that filled it —
+        # the waits say so even though the deadline was nowhere near
+        assert ctrl.depth == 0
+        assert ctrl.stats.batch_sizes == [4]
+        assert ctrl.stats.queue_wait_seconds == pytest.approx(
+            [0.003, 0.002, 0.001, 0.0])
+        # deterministic service: 4 requests x 10 ms summed
+        assert ctrl.stats.service_seconds == pytest.approx([0.04] * 4)
+
+    def test_deadline_dispatch(self):
+        """A partial batch goes out when the oldest budget is spent."""
+        ctrl = AdmissionController(det_service(), max_batch=100,
+                                   deadline_ms=20.0, num_workers=1)
+        ctrl.offer(0.0, query=0)
+        ctrl.offer(0.005, query=1)
+        assert ctrl.depth == 2          # neither full nor expired yet
+        ctrl.offer(0.05, query=2)       # advancing past 0.02 dispatches
+        assert ctrl.stats.batch_sizes == [2]
+        assert ctrl.stats.queue_wait_seconds == pytest.approx([0.02, 0.015])
+        # the late request waits out its own deadline before drain
+        ctrl.drain()
+        assert ctrl.stats.batch_sizes == [2, 1]
+        assert ctrl.stats.queue_wait_seconds[-1] == pytest.approx(0.02)
+
+    def test_backpressure_shed_at_watermark(self):
+        ctrl = AdmissionController(det_service(), max_queue=2, max_batch=100,
+                                   deadline_ms=1e6, num_workers=1)
+        admitted = [ctrl.offer(0.0, query=i) for i in range(5)]
+        assert admitted == [True, True, False, False, False]
+        assert ctrl.stats.admitted == 2
+        assert ctrl.stats.shed_queue == 3
+        assert ctrl.stats.shed_rate == pytest.approx(3 / 5)
+
+    def test_priority_reservation(self):
+        """priority_share of the queue only admits the paid lane."""
+        ctrl = AdmissionController(det_service(), max_queue=4, max_batch=100,
+                                   deadline_ms=1e6, priority_share=0.5)
+        assert ctrl.offer(0.0, query=0, lane="organic")
+        assert ctrl.offer(0.0, query=1, lane="organic")
+        # organic stops at (1 - 0.5) * max_queue = 2...
+        assert not ctrl.offer(0.0, query=2, lane="organic")
+        # ...but paid fills the reserved half
+        assert ctrl.offer(0.0, query=3, lane="paid")
+        assert ctrl.offer(0.0, query=4, lane="paid")
+        assert not ctrl.offer(0.0, query=5, lane="paid")
+        assert ctrl.stats.shed_by_lane == {"paid": 1, "organic": 1}
+
+    def test_strict_priority_dequeue(self):
+        """Paid drains first even when organic arrived earlier."""
+        ctrl = AdmissionController(det_service(), max_batch=3,
+                                   deadline_ms=1e6, keep_results=True)
+        ctrl.offer(0.0, query=0, lane="organic")
+        ctrl.offer(0.001, query=1, lane="paid")
+        ctrl.offer(0.002, query=2, lane="paid")
+        ctrl.drain()
+        lanes = [request.lane for request, _ in ctrl.results]
+        assert lanes == ["paid", "paid", "organic"]
+
+    def test_deadline_shed_when_workers_saturated(self):
+        """Requests that outwaited their budget are dropped at dispatch."""
+        ctrl = AdmissionController(det_service(mean=0.05), max_batch=1,
+                                   deadline_ms=10.0, num_workers=1)
+        ctrl.offer(0.0, query=0)        # dispatches at t=0, busy until 0.05
+        ctrl.offer(0.001, query=1)      # expires at 0.011 < 0.05
+        ctrl.offer(0.002, query=2)      # expires at 0.012 < 0.05
+        ctrl.drain()
+        assert ctrl.stats.served == 1
+        assert ctrl.stats.shed_deadline == 2
+
+    def test_served_wait_bounded_by_deadline(self, daily_logs):
+        """Construction guarantee: an admitted+served wait <= deadline."""
+        svc = SyntheticService(0.01, "exponential", seed=4)
+        ctrl = AdmissionController(svc, max_queue=64, deadline_ms=25.0,
+                                   max_batch=1, num_workers=2)
+        traffic = TrafficGenerator(daily_logs[:1], seed=6)
+        traffic.drive(ctrl, qps=1.5 * 2 / 0.01, duration=2.0)  # overloaded
+        assert ctrl.stats.shed > 0
+        assert max(ctrl.stats.queue_wait_seconds) <= 0.025 + 1e-12
+        # latency of admitted requests = wait + its batch's service
+        for wait, service, latency in zip(ctrl.stats.queue_wait_seconds,
+                                          ctrl.stats.service_seconds,
+                                          ctrl.stats.latency_seconds):
+            assert latency == pytest.approx(wait + service)
+
+    def test_arrivals_must_be_monotonic(self):
+        ctrl = AdmissionController(det_service())
+        ctrl.offer(1.0, query=0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ctrl.offer(0.5, query=1)
+
+    def test_unknown_lane_rejected(self):
+        ctrl = AdmissionController(det_service())
+        with pytest.raises(ValueError, match="lane"):
+            ctrl.offer(0.0, query=0, lane="platinum")
+
+    def test_validation(self):
+        engine = det_service()
+        with pytest.raises(ValueError, match="max_queue"):
+            AdmissionController(engine, max_queue=0)
+        with pytest.raises(ValueError, match="deadline_ms"):
+            AdmissionController(engine, deadline_ms=0.0)
+        with pytest.raises(ValueError, match="num_workers"):
+            AdmissionController(engine, num_workers=0)
+        with pytest.raises(ValueError, match="priority_share"):
+            AdmissionController(engine, priority_share=1.5)
+        with pytest.raises(ValueError, match="max_batch"):
+            AdmissionController(engine, max_batch=0)
+
+    def test_max_batch_adopts_engine_width(self):
+        ctrl = AdmissionController(det_service(max_batch=7))
+        assert ctrl.max_batch == 7
+
+    def test_idle_stats_are_zero(self):
+        stats = AdmissionStats()
+        assert stats.shed_rate == 0.0
+        assert stats.mean_batch_size == 0.0
+        assert stats.mean_wait_seconds == 0.0
+        assert stats.mean_latency_seconds == 0.0
+        assert stats.wait_percentiles() == {"p50": 0.0, "p95": 0.0,
+                                            "p99": 0.0}
+        assert stats.latency_percentiles() == {"p50": 0.0, "p95": 0.0,
+                                               "p99": 0.0}
+        summary = stats.summary()
+        assert summary["offered"] == 0 and summary["shed_rate"] == 0.0
+
+
+class TestAdmissionOverEngine:
+    def test_results_match_direct_retrieval(self, retriever, rng):
+        """Admitted requests get the exact answers the engine would give."""
+        engine = ServingEngine(retriever, max_batch_size=4)
+        ctrl = AdmissionController(engine, max_batch=4, deadline_ms=1e6,
+                                   keep_results=True, k=6)
+        queries = rng.integers(100, size=12)
+        preclicks = [list(rng.integers(40, size=2)) for _ in queries]
+        for i, (query, items) in enumerate(zip(queries, preclicks)):
+            ctrl.offer(0.001 * i, int(query), items)
+        ctrl.drain()
+        assert ctrl.stats.served == 12
+        direct = retriever.retrieve_batch(queries, preclicks, k=6)
+        by_request = {(int(q), tuple(p)): r
+                      for q, p, r in zip(queries, preclicks, direct)}
+        for request, result in ctrl.results:
+            expected = by_request[(request.query,
+                                   tuple(request.preclicks))]
+            assert np.array_equal(result.ads, expected.ads)
+            assert np.allclose(result.scores, expected.scores)
+
+    def test_wait_grows_with_offered_load(self, retriever, daily_logs):
+        engine = ServingEngine(retriever, max_batch_size=8, cache_size=512)
+        traffic = TrafficGenerator(daily_logs[:1], seed=3)
+        waits = []
+        for rho, seed in ((0.2, 1), (0.95, 2)):
+            ctrl = AdmissionController(engine, max_batch=1, deadline_ms=1e6,
+                                       max_queue=10**6, num_workers=1)
+            # the probe both warms the LRU and measures the service time
+            probe = traffic.generate(qps=100.0, duration=0.5, seed=seed)
+            service = self._mean_service(engine, probe)
+            traffic.drive(ctrl, qps=rho / service, duration=200 * service,
+                          seed=seed)
+            waits.append(ctrl.stats.mean_wait_seconds)
+        assert waits[0] < waits[1]
+
+    @staticmethod
+    def _mean_service(engine, requests):
+        before_busy = engine.stats.total_busy_seconds
+        before_n = engine.stats.requests
+        for request in requests:
+            engine.serve_batch([request.query], [request.preclicks])
+        return ((engine.stats.total_busy_seconds - before_busy)
+                / (engine.stats.requests - before_n))
+
+
+class TestCalibration:
+    """Simulator-vs-measured agreement — the capacity-planning contract."""
+
+    #: documented tolerance: measured/predicted mean wait over a
+    #: synthetic service, ~8k fixed-seed requests per load point
+    SYNTHETIC_BAND = (0.65, 1.35)
+    #: documented tolerance with the real engine in the loop at small
+    #: request counts on shared hardware (tight gate: the async bench)
+    ENGINE_BAND = (0.2, 5.0)
+    LOADS = (0.5, 0.7, 0.85)
+
+    def _measured_wait(self, daily_logs, service_model, qps, workers,
+                       seed):
+        ctrl = AdmissionController(service_model, max_queue=10**6,
+                                   deadline_ms=1e9, max_batch=1,
+                                   num_workers=workers)
+        traffic = TrafficGenerator(daily_logs[:1], process="poisson",
+                                   seed=seed)
+        traffic.drive(ctrl, qps=qps, duration=8000.0 / qps)
+        return ctrl.stats.mean_wait_seconds
+
+    def test_mmc_agreement_with_erlang_c(self, daily_logs):
+        """Exponential service at max_batch=1 is M/M/c: Erlang-C must hold."""
+        service, workers = 0.01, 4
+        for i, rho in enumerate(self.LOADS):
+            qps = rho * workers / service
+            svc = SyntheticService(service, "exponential", seed=40 + i)
+            measured = self._measured_wait(daily_logs, svc, qps, workers,
+                                           seed=50 + i)
+            predicted = erlang_c_wait(qps, 1.0 / service, workers)
+            ratio = measured / predicted
+            assert self.SYNTHETIC_BAND[0] <= ratio <= self.SYNTHETIC_BAND[1], \
+                "rho=%.2f: measured %.6fs vs Erlang-C %.6fs (ratio %.2f)" \
+                % (rho, measured, predicted, ratio)
+
+    def test_mdc_agreement_with_corrected_wait(self, daily_logs):
+        """Deterministic service is M/D/c: the cs2=0 correction must hold."""
+        service, workers = 0.01, 4
+        for i, rho in enumerate(self.LOADS):
+            qps = rho * workers / service
+            svc = SyntheticService(service, "deterministic")
+            measured = self._measured_wait(daily_logs, svc, qps, workers,
+                                           seed=60 + i)
+            predicted = allen_cunneen_wait(qps, 1.0 / service, workers,
+                                           cs2=0.0)
+            ratio = measured / predicted
+            assert self.SYNTHETIC_BAND[0] <= ratio <= self.SYNTHETIC_BAND[1], \
+                "rho=%.2f: measured %.6fs vs M/D/c %.6fs (ratio %.2f)" \
+                % (rho, measured, predicted, ratio)
+            # and the raw Erlang-C wait overpredicts a deterministic
+            # service — the reason the correction exists
+            assert measured < erlang_c_wait(qps, 1.0 / service, workers)
+
+    def test_engine_backed_agreement(self, retriever, daily_logs):
+        """Real engine in the loop at three sub-saturation loads."""
+        engine = ServingEngine(retriever, max_batch_size=4, cache_size=2048)
+        traffic = TrafficGenerator(daily_logs[:1], process="poisson", seed=9)
+        # warm the LRU so the service process is stationary-ish
+        for request in traffic.generate(qps=100.0, duration=1.0):
+            engine.serve_batch([request.query], [request.preclicks])
+        workers = 2
+        for i, rho in enumerate(self.LOADS):
+            ctrl = AdmissionController(engine, max_queue=10**6,
+                                       deadline_ms=1e9, max_batch=1,
+                                       num_workers=workers)
+            probe = traffic.generate(qps=100.0, duration=0.5, seed=70 + i)
+            service = TestAdmissionOverEngine._mean_service(engine, probe)
+            qps = rho * workers / service
+            traffic.drive(ctrl, qps=qps, duration=300.0 / qps, seed=80 + i)
+            samples = np.asarray(ctrl.stats.service_seconds)
+            mean_service = float(samples.mean())
+            cs2 = float(samples.var() / mean_service ** 2)
+            predicted = allen_cunneen_wait(
+                ctrl.stats.served / (300.0 / qps), 1.0 / mean_service,
+                workers, cs2=cs2)
+            ratio = ctrl.stats.mean_wait_seconds / predicted
+            assert self.ENGINE_BAND[0] <= ratio <= self.ENGINE_BAND[1], \
+                "rho=%.2f: measured %.6fs vs corrected %.6fs (ratio %.2f)" \
+                % (rho, ctrl.stats.mean_wait_seconds, predicted, ratio)

@@ -8,11 +8,13 @@ import pytest
 from repro.models import make_model
 from repro.retrieval import IndexSet, TwoLayerRetriever
 from repro.serving import (
+    EngineStats,
     LRUCache,
     ServingEngine,
     ServingSimulator,
     erlang_b,
     erlang_c_wait,
+    percentiles,
 )
 from repro.training import Trainer, TrainerConfig
 
@@ -185,6 +187,70 @@ class TestShardParallelServing:
         results = engine.serve(queries[:3], preclicks[:3], k=5)
         assert len(results) == 3
         assert engine.stats.requests == 3
+
+
+class TestIdleStats:
+    def test_idle_engine_rates_are_zero(self):
+        """An engine that served nothing reports 0.0, not ZeroDivision."""
+        stats = EngineStats()
+        assert stats.service_seconds == 0.0
+        assert stats.mean_batch_size == 0.0
+        assert stats.cache_hit_rate == 0.0
+        assert stats.throughput_rps == 0.0
+        assert stats.mean_batch_wall_seconds == 0.0
+        assert stats.latency_percentiles() == {"p50": 0.0, "p95": 0.0,
+                                               "p99": 0.0}
+
+    def test_fresh_engine_stats_are_idle(self, retriever):
+        engine = ServingEngine(retriever)
+        assert engine.stats.throughput_rps == 0.0
+        assert engine.stats.cache_hit_rate == 0.0
+
+
+class TestPercentiles:
+    def test_empty_is_all_zero(self):
+        assert percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_known_values(self):
+        result = percentiles([float(v) for v in range(1, 101)])
+        assert result["p50"] == pytest.approx(50.5)
+        assert result["p50"] <= result["p95"] <= result["p99"] <= 100.0
+
+
+class TestRequestLatency:
+    def test_serve_records_per_request_wall(self, retriever, traffic):
+        queries, preclicks = traffic
+        engine = ServingEngine(retriever, max_batch_size=8)
+        engine.serve(queries, preclicks)
+        assert len(engine.stats.request_wall_seconds) == 20
+        assert all(t > 0 for t in engine.stats.request_wall_seconds)
+        pcts = engine.stats.latency_percentiles()
+        assert 0 < pcts["p50"] <= pcts["p95"] <= pcts["p99"]
+
+    def test_submit_latency_includes_pending_wait(self, retriever, traffic):
+        queries, preclicks = traffic
+        engine = ServingEngine(retriever, max_batch_size=3)
+        for query, items in zip(queries[:3], preclicks[:3]):
+            engine.submit(int(query), items)
+        samples = engine.stats.request_wall_seconds
+        assert len(samples) == 3
+        # within the batch, earlier submissions waited longer
+        assert samples[0] >= samples[1] >= samples[2] > 0
+
+    def test_serve_batch_returns_measured_wall(self, retriever, traffic):
+        queries, preclicks = traffic
+        engine = ServingEngine(retriever, max_batch_size=8)
+        results, wall = engine.serve_batch(queries[:5], preclicks[:5], k=6)
+        assert wall > 0
+        assert wall == engine.stats.batch_wall_seconds[-1]
+        direct = retriever.retrieve_batch(queries[:5], preclicks[:5], k=6)
+        for a, b in zip(results, direct):
+            assert np.array_equal(a.ads, b.ads)
+
+    def test_serve_batch_length_mismatch_raises(self, retriever):
+        engine = ServingEngine(retriever)
+        with pytest.raises(ValueError):
+            engine.serve_batch([0, 1], [[2]])
 
 
 def _erlang_c_wait_factorial(arrival_rate, service_rate, servers):

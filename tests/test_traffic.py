@@ -1,0 +1,216 @@
+"""Property tests for the closed-loop traffic harness.
+
+The :class:`TrafficGenerator` contracts that the capacity benches lean
+on: arrivals are sorted and inside the horizon, streams are a pure
+function of the seed, the offered rate hits the target (exactly for
+Poisson; over integer periods for the diurnal curve), the query
+marginal is the configured Zipf head-skew, and the lane split matches
+``paid_share``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serving import (
+    ARRIVAL_PROCESSES,
+    AdmissionController,
+    SyntheticService,
+    TrafficGenerator,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@pytest.fixture(scope="module")
+def gen(daily_logs):
+    return TrafficGenerator(daily_logs[:1], seed=0)
+
+
+class TestArrivalProcesses:
+    @given(seed=seeds, process=st.sampled_from(ARRIVAL_PROCESSES),
+           qps=st.floats(min_value=20.0, max_value=400.0))
+    @settings(max_examples=30, deadline=None)
+    def test_arrivals_monotone_and_bounded(self, daily_logs, seed, process,
+                                           qps):
+        gen = TrafficGenerator(daily_logs[:1], process=process, seed=0)
+        requests = gen.generate(qps=qps, duration=2.0, seed=seed)
+        arrivals = [r.arrival for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= t < 2.0 for t in arrivals)
+        assert all(r.lane in ("paid", "organic") for r in requests)
+
+    @given(seed=seeds, process=st.sampled_from(ARRIVAL_PROCESSES))
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_same_stream(self, daily_logs, seed, process):
+        gen = TrafficGenerator(daily_logs[:1], process=process, seed=0)
+        first = gen.generate(qps=150.0, duration=1.5, seed=seed)
+        second = gen.generate(qps=150.0, duration=1.5, seed=seed)
+        assert first == second
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_poisson_offered_qps_on_target(self, gen, seed):
+        # 4000 expected arrivals, sd ~63: a 12% miss is >7 sigma
+        requests = gen.generate(qps=400.0, duration=10.0, seed=seed)
+        assert len(requests) == pytest.approx(4000, rel=0.12)
+
+    def test_diurnal_mean_rate_over_integer_periods(self, daily_logs):
+        # the sinusoid integrates to zero over whole periods, so the
+        # offered mean is back on target (duration = 2 x 60s period)
+        gen = TrafficGenerator(daily_logs[:1], process="diurnal", seed=0)
+        for seed in (1, 2, 3):
+            requests = gen.generate(qps=100.0, duration=120.0, seed=seed)
+            assert len(requests) == pytest.approx(12000, rel=0.1)
+
+    def test_bursty_mean_rate_on_target(self, daily_logs):
+        # calm phases are slowed to compensate for bursts; over many
+        # phase cycles (120s / 2s cycle) the mean lands on target
+        gen = TrafficGenerator(daily_logs[:1], process="bursty", seed=0)
+        for seed in (1, 2, 3):
+            requests = gen.generate(qps=100.0, duration=120.0, seed=seed)
+            assert len(requests) == pytest.approx(12000, rel=0.25)
+
+    def test_bursty_is_overdispersed(self, daily_logs):
+        """MMPP arrival counts have index of dispersion >> Poisson's 1."""
+        def dispersion(process, seed):
+            gen = TrafficGenerator(daily_logs[:1], process=process, seed=0)
+            arrivals = [r.arrival
+                        for r in gen.generate(qps=200.0, duration=60.0,
+                                              seed=seed)]
+            counts = np.bincount(
+                (np.asarray(arrivals) * 10).astype(int), minlength=600)
+            return counts.var() / counts.mean()
+
+        assert dispersion("poisson", seed=5) < 1.5
+        assert dispersion("bursty", seed=5) > 2.0
+
+
+class TestRequestPopulation:
+    @given(seed=seeds, exponent=st.floats(min_value=0.3, max_value=2.0))
+    @settings(max_examples=15, deadline=None)
+    def test_zipf_marginal_matches_configuration(self, daily_logs, seed,
+                                                 exponent):
+        gen = TrafficGenerator(daily_logs[:1], zipf_exponent=exponent,
+                               seed=0)
+        requests = gen.generate(qps=2000.0, duration=2.0, seed=seed)
+        queries = np.array([r.query for r in requests])
+        # the top-ranked query's empirical share matches its configured
+        # probability (binomial sd ~0.008 at n~4000; 0.04 is >5 sigma)
+        top = int(gen.ranked_queries[0])
+        assert (queries == top).mean() == pytest.approx(
+            float(gen.query_probs[0]), abs=0.04)
+        # ...and the head outweighs the tail
+        head = set(int(q) for q in gen.ranked_queries[:10])
+        tail = set(int(q) for q in gen.ranked_queries[-10:])
+        head_mass = sum(q in head for q in queries)
+        tail_mass = sum(q in tail for q in queries)
+        assert head_mass > tail_mass
+
+    @given(seed=seeds, share=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_lane_split_matches_paid_share(self, daily_logs, seed, share):
+        gen = TrafficGenerator(daily_logs[:1], paid_share=share, seed=0)
+        requests = gen.generate(qps=2000.0, duration=2.0, seed=seed)
+        paid = sum(r.lane == "paid" for r in requests) / len(requests)
+        assert paid == pytest.approx(share, abs=0.05)
+
+    def test_preclicks_replay_real_sessions(self, daily_logs, gen):
+        from repro.graph.schema import NodeType
+        allowed = {}
+        for log in daily_logs[:1]:
+            for session in log.sessions:
+                allowed.setdefault(session.query, set()).update(
+                    session.clicked_of_type(NodeType.ITEM))
+        for request in gen.generate(qps=200.0, duration=1.0, seed=7):
+            assert len(request.preclicks) <= gen.max_preclicks
+            assert set(request.preclicks) <= allowed[request.query]
+
+    def test_zero_exponent_is_uniform_over_ranked(self, daily_logs):
+        gen = TrafficGenerator(daily_logs[:1], zipf_exponent=0.0, seed=0)
+        assert np.allclose(gen.query_probs,
+                           1.0 / gen.ranked_queries.size)
+
+
+class TestClosedLoop:
+    def test_underload_serves_everything(self, gen):
+        ctrl = AdmissionController(SyntheticService(0.001, seed=1),
+                                   max_batch=1, deadline_ms=50.0)
+        report = gen.drive(ctrl, qps=100.0, duration=5.0)
+        assert report.shed == 0
+        assert report.served == report.offered
+        # the makespan may run a service time past the horizon
+        assert report.achieved_qps == pytest.approx(report.offered_qps,
+                                                    rel=1e-3)
+        assert report.wait_ms["p99"] <= 50.0
+
+    def test_overload_sheds_and_caps_throughput(self, gen):
+        # offered 5x the single-worker service rate: most traffic sheds
+        ctrl = AdmissionController(SyntheticService(0.01, seed=2),
+                                   max_batch=1, deadline_ms=50.0,
+                                   max_queue=64)
+        report = gen.drive(ctrl, qps=500.0, duration=4.0)
+        assert report.shed > 0
+        assert report.shed_rate > 0.5
+        assert report.achieved_qps < report.offered_qps
+        # served requests still met the deadline (shed, not served late)
+        assert report.wait_ms["p99"] <= 50.0
+
+    def test_drive_requires_fresh_controller(self, gen):
+        ctrl = AdmissionController(SyntheticService(0.001), max_batch=1)
+        gen.drive(ctrl, qps=50.0, duration=1.0)
+        with pytest.raises(ValueError, match="fresh controller"):
+            gen.drive(ctrl, qps=50.0, duration=1.0)
+
+    def test_report_is_json_safe(self, gen):
+        ctrl = AdmissionController(SyntheticService(0.001), max_batch=1)
+        report = gen.drive(ctrl, qps=50.0, duration=1.0)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["process"] == "poisson"
+        assert payload["offered"] == report.offered
+
+
+class TestValidation:
+    def test_generator_rejects_bad_parameters(self, daily_logs):
+        logs = daily_logs[:1]
+        with pytest.raises(ValueError, match="at least one session"):
+            TrafficGenerator([])
+        with pytest.raises(ValueError, match="zipf_exponent"):
+            TrafficGenerator(logs, zipf_exponent=-0.1)
+        with pytest.raises(ValueError, match="paid_share"):
+            TrafficGenerator(logs, paid_share=1.5)
+        with pytest.raises(ValueError, match="max_preclicks"):
+            TrafficGenerator(logs, max_preclicks=-1)
+        with pytest.raises(ValueError, match="process"):
+            TrafficGenerator(logs, process="flash-crowd")
+        with pytest.raises(ValueError, match="burstiness"):
+            TrafficGenerator(logs, burstiness=0.5)
+        with pytest.raises(ValueError, match="burst_fraction"):
+            TrafficGenerator(logs, burst_fraction=1.0)
+        with pytest.raises(ValueError, match="compensate"):
+            TrafficGenerator(logs, burstiness=4.0, burst_fraction=0.5)
+        with pytest.raises(ValueError, match="diurnal_amplitude"):
+            TrafficGenerator(logs, diurnal_amplitude=2.0)
+        with pytest.raises(ValueError, match="periods"):
+            TrafficGenerator(logs, diurnal_period_seconds=0.0)
+
+    def test_generate_rejects_bad_run(self, gen):
+        with pytest.raises(ValueError, match="qps"):
+            gen.generate(qps=0.0, duration=1.0)
+        with pytest.raises(ValueError, match="duration"):
+            gen.generate(qps=10.0, duration=0.0)
+
+    def test_synthetic_service_validation(self):
+        with pytest.raises(ValueError, match="mean_seconds"):
+            SyntheticService(0.0)
+        with pytest.raises(ValueError, match="distribution"):
+            SyntheticService(0.01, "lognormal")
+
+    def test_synthetic_service_deterministic_batches(self):
+        svc = SyntheticService(0.01, "deterministic", max_batch_size=8)
+        results, seconds = svc.serve_batch([1, 2, 3], [(), (), ()])
+        assert results == [None, None, None]
+        assert seconds == pytest.approx(0.03)
+        assert svc.batches_served == 1
