@@ -1,0 +1,147 @@
+"""End-to-end chaos smoke: SIGKILL mid-train, resume, serve through faults.
+
+The scripted version of the lifecycle story CI needs to re-prove on
+every change:
+
+1. start a checkpointed pipeline run and SIGKILL the process once the
+   first checkpoint lands (a real ``kill -9``, not an in-process
+   exception — nothing gets to clean up);
+2. rerun the same command: it must resume from the checkpoint (the
+   stage summary says so), finish, and publish a generation;
+3. serve from the published artifacts under an injected slice fault
+   with retries disabled: the run must complete degraded — flagged,
+   never crashed;
+4. serve again with retries enabled: the same fault budget must be
+   absorbed with zero degraded requests;
+5. ``gc --keep 1`` must prune nothing live.
+
+Exits nonzero (with the offending output echoed) on any violation.
+Run directly: ``PYTHONPATH=src python benchmarks/chaos_smoke.py
+[--artifacts DIR]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+RUN_CMD = [
+    sys.executable, "-m", "repro", "run",
+    "--config", str(REPO_ROOT / "examples" / "configs" / "tiny.json"),
+    "--set", "training.steps=60",
+    "--set", "training.checkpoint_every=5",
+    "--set", "serving.measure_requests=0",
+    "--set", "eval.enabled=false",
+]
+
+
+def fail(message: str, output: str = "") -> int:
+    print("CHAOS SMOKE FAIL: %s" % message)
+    if output:
+        print(output[-4000:])
+    return 1
+
+
+def run_cli(args, artifacts: pathlib.Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        args + ["--artifacts", str(artifacts)],
+        capture_output=True, text=True, cwd=REPO_ROOT, timeout=600)
+
+
+def kill_mid_train(artifacts: pathlib.Path) -> int:
+    """Start the run, SIGKILL it after the first checkpoint write."""
+    proc = subprocess.Popen(RUN_CMD + ["--artifacts", str(artifacts)],
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT,
+                            text=True, cwd=REPO_ROOT)
+    checkpoint = artifacts / "checkpoint.npz"
+    deadline = time.time() + 300
+    while time.time() < deadline:
+        if checkpoint.exists():
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+            return -9
+        if proc.poll() is not None:
+            # finished before the first checkpoint: the workload is too
+            # small for the kill to land — treat as a smoke failure so
+            # the step sizes get fixed rather than silently skipped
+            return proc.returncode
+        time.sleep(0.05)
+    proc.kill()
+    raise TimeoutError("run never wrote a checkpoint")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifacts", type=pathlib.Path, default=None)
+    args = parser.parse_args(argv)
+    if args.artifacts is None:
+        scratch = tempfile.TemporaryDirectory(prefix="chaos-smoke-")
+        artifacts = pathlib.Path(scratch.name) / "artifacts"
+    else:
+        artifacts = args.artifacts
+
+    code = kill_mid_train(artifacts)
+    if code != -9:
+        return fail("run exited %s before it could be killed" % code)
+    if not (artifacts / "checkpoint.npz").exists():
+        return fail("checkpoint vanished after SIGKILL")
+    print("killed mid-train; checkpoint survived")
+
+    rerun = run_cli(RUN_CMD, artifacts)
+    if rerun.returncode != 0:
+        return fail("resumed run exited %d" % rerun.returncode, rerun.stdout)
+    if "resumed from step" not in rerun.stdout:
+        return fail("rerun did not resume from the checkpoint", rerun.stdout)
+    if "published generation" not in rerun.stdout:
+        return fail("resumed run published no generation", rerun.stdout)
+    if (artifacts / "checkpoint.npz").exists():
+        return fail("completed run left its checkpoint behind")
+    print("resumed, completed, and published:",
+          [line for line in rerun.stdout.splitlines()
+           if "resumed" in line or "published" in line])
+
+    # first-attempt-only faults: with retries disabled every matched
+    # slice degrades; with retries enabled every one recovers — the
+    # same budget proves both halves regardless of slice topology
+    fault = ('faults.specs=[{"site":"engine.slice","mode":"raise",'
+             '"rate":1.0,"match":{"attempt":0},"max_fires":4}]')
+    serve = [sys.executable, "-m", "repro", "serve",
+             "--requests", "32", "--qps", "2000",
+             "--set", fault]
+    degraded = run_cli(serve + ["--set", "serving.slice_retries=0"],
+                       artifacts)
+    if degraded.returncode != 0:
+        return fail("faulted serve crashed (%d)" % degraded.returncode,
+                    degraded.stdout + degraded.stderr)
+    if "DEGRADED" not in degraded.stdout:
+        return fail("faulted serve did not flag degraded requests",
+                    degraded.stdout)
+    print("faulted serve completed degraded, not dead")
+
+    recovered = run_cli(serve + ["--set", "serving.slice_retries=2"],
+                        artifacts)
+    if recovered.returncode != 0:
+        return fail("retrying serve crashed (%d)" % recovered.returncode,
+                    recovered.stdout + recovered.stderr)
+    if "DEGRADED" in recovered.stdout:
+        return fail("slice retries failed to absorb the fault budget",
+                    recovered.stdout)
+    print("same fault budget absorbed by slice retries")
+
+    gc = run_cli([sys.executable, "-m", "repro", "gc", "--keep", "1"],
+                 artifacts)
+    if gc.returncode != 0 or "live" not in gc.stdout:
+        return fail("gc failed", gc.stdout + gc.stderr)
+    print("chaos smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

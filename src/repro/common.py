@@ -1,4 +1,101 @@
-"""Shared constants used across packages."""
+"""Shared constants and crash-safe filesystem primitives.
+
+Every persisted artifact in the repo goes through the atomic writers
+here: content lands in a same-directory temp file first (flushed and
+fsynced), then a single ``os.replace`` makes it visible.  A crash —
+real, or injected at the ``"io.atomic_write"`` fault point — at any
+instant leaves either the complete old file or the complete new file,
+never a torn hybrid; stray ``*.tmp-*`` staging files are dead weight a
+later write of the same path sweeps up.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import pathlib
+import tempfile
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.testing.faults import InjectedFault, fault_point
 
 #: Padding id for variable-length categorical feature slots (e.g. terms).
 PAD = -1
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _sweep_stale_tmp(path: pathlib.Path) -> None:
+    """Best-effort removal of staging files a crashed writer left behind."""
+    for stale in path.parent.glob(path.name + ".tmp-*"):
+        with contextlib.suppress(OSError):
+            stale.unlink()
+
+
+@contextlib.contextmanager
+def atomic_writer(path: PathLike, mode: str = "wb") -> Iterator:
+    """Open a temp file that replaces ``path`` atomically on clean exit.
+
+    The ``"io.atomic_write"`` fault point sits between the flushed
+    write and the publishing ``os.replace``; a ``torn``-mode fault
+    additionally truncates the staged bytes to half before raising, so
+    regression tests can prove a mid-write crash never corrupts the
+    published file.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _sweep_stale_tmp(path)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=path.name + ".tmp-")
+    tmp = pathlib.Path(tmp_name)
+    try:
+        with os.fdopen(fd, mode) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        try:
+            fault_point("io.atomic_write", path=str(path))
+        except InjectedFault as exc:
+            if exc.torn:    # simulate the crash tearing the staged bytes
+                size = tmp.stat().st_size
+                with open(tmp, "r+b") as handle:
+                    handle.truncate(size // 2)
+            raise
+        os.replace(tmp, path)
+    except BaseException:
+        # leave ``path`` untouched; drop the staging file (a real crash
+        # would leave it behind — the sweep above handles that later)
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+
+
+def atomic_write_bytes(path: PathLike, payload: bytes) -> pathlib.Path:
+    with atomic_writer(path, "wb") as handle:
+        handle.write(payload)
+    return pathlib.Path(path)
+
+
+def atomic_write_text(path: PathLike, text: str,
+                      encoding: str = "utf-8") -> pathlib.Path:
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_savez(path: PathLike, arrays: dict,
+                 compressed: bool = True) -> pathlib.Path:
+    """``np.savez(_compressed)`` through the atomic writer."""
+    with atomic_writer(path, "wb") as handle:
+        (np.savez_compressed if compressed else np.savez)(handle, **arrays)
+    return pathlib.Path(path)
+
+
+def file_sha256(path: PathLike, chunk_bytes: int = 1 << 20) -> str:
+    """Streaming SHA-256 hex digest of one file."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(chunk_bytes), b""):
+            digest.update(chunk)
+    return digest.hexdigest()

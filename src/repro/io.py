@@ -25,6 +25,7 @@ from typing import Dict, Union
 
 import numpy as np
 
+from repro.common import atomic_savez
 from repro.graph.hetgraph import HetGraph
 from repro.graph.schema import Relation
 from repro.models.amcad import AMCAD, AMCADConfig
@@ -47,8 +48,7 @@ def save_model(model: AMCAD, path: PathLike) -> pathlib.Path:
     }
     arrays["header"] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8)
-    np.savez_compressed(path, **arrays)
-    return path
+    return atomic_savez(path, arrays)
 
 
 def load_model(path: PathLike, graph: HetGraph) -> AMCAD:
@@ -109,8 +109,7 @@ def save_index_set(index_set: IndexSet, path: PathLike) -> pathlib.Path:
         header["shard_bounds"] = shard_bounds
     arrays["header"] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8)
-    np.savez_compressed(path, **arrays)
-    return path
+    return atomic_savez(path, arrays)
 
 
 class StoredIndexSet:

@@ -10,23 +10,56 @@ the paper's ship-to-serving step (Fig. 3) as a filesystem contract:
         indices.npz          the built IndexSet (IndexSet.save)
         control_indices.npz  control-channel indices (only with eval.ab_control)
         report.json          the structured PipelineReport
+        checkpoint.npz       mid-training resume state (Trainer checkpoints)
+        generations/
+            000001/
+                MANIFEST.json    sha256 + size per file, publish metadata
+                config.json, model.npz, indices.npz, ...
+            000002/
+                ...
 
-``Pipeline.from_artifacts(dir)`` reloads config + indices and serves
-without the model or any retraining; ``python -m repro eval`` reloads
-the checkpoint as well to recompute offline metrics.
+The flat files are the *working copies* the stages write as they go;
+``publish_generation()`` snapshots them into the next ``generations/``
+slot.  Publishing is crash-safe: files are copied into a hidden
+staging directory, the checksummed ``MANIFEST.json`` is written last,
+and a single ``os.replace`` renames staging to ``NNNNNN/`` — a
+generation is either fully visible or absent, never torn.  Readers
+(``Pipeline.from_artifacts``, ``python -m repro serve/eval``) resolve
+the newest *valid* generation and verify checksums on load, falling
+back to the flat layout for pre-generation artifact directories.
+``gc(keep=N)`` bounds disk growth and refuses to remove the live
+generation.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
-from typing import List
+import shutil
+import time
+from typing import Any, Dict, List, Optional
 
+from repro.common import atomic_write_text, file_sha256
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.report import PipelineReport
+from repro.testing.faults import fault_point
+
+_MANIFEST_VERSION = 1
+
+
+class ArtifactCorruptionError(RuntimeError):
+    """A stored artifact failed validation against its manifest."""
+
+    def __init__(self, message: str, path: Optional[pathlib.Path] = None,
+                 generation: Optional[int] = None):
+        self.path = pathlib.Path(path) if path is not None else None
+        self.generation = generation
+        super().__init__(message)
 
 
 class ArtifactStore:
-    """Named artifacts under one directory."""
+    """Named artifacts under one directory, plus published generations."""
 
     CONFIG = "config.json"
     MODEL = "model.npz"
@@ -34,6 +67,13 @@ class ArtifactStore:
     INDICES = "indices.npz"
     CONTROL_INDICES = "control_indices.npz"
     REPORT = "report.json"
+    CHECKPOINT = "checkpoint.npz"
+
+    GENERATIONS_DIR = "generations"
+    MANIFEST = "MANIFEST.json"
+    #: flat files snapshotted by default when publishing a generation
+    PUBLISHABLE = (CONFIG, MODEL, CONTROL_MODEL, INDICES, CONTROL_INDICES,
+                   REPORT)
 
     def __init__(self, root, create: bool = True):
         self.root = pathlib.Path(root)
@@ -50,7 +90,7 @@ class ArtifactStore:
         return self.path(name).exists()
 
     def files(self) -> List[str]:
-        """Names of the artifacts currently present."""
+        """Names of the flat artifacts currently present."""
         return sorted(p.name for p in self.root.iterdir() if p.is_file())
 
     # -- config --------------------------------------------------------------
@@ -69,5 +109,200 @@ class ArtifactStore:
     def load_report(self) -> PipelineReport:
         return PipelineReport.load(self.path(self.REPORT))
 
+    # -- generations ---------------------------------------------------------
+
+    @property
+    def generations_root(self) -> pathlib.Path:
+        return self.root / self.GENERATIONS_DIR
+
+    def generation_dir(self, generation: int) -> pathlib.Path:
+        return self.generations_root / ("%06d" % generation)
+
+    def generations(self) -> List[int]:
+        """Published (valid: manifest present) generation ids, ascending."""
+        root = self.generations_root
+        if not root.is_dir():
+            return []
+        found = []
+        for entry in root.iterdir():
+            if (entry.is_dir() and entry.name.isdigit()
+                    and (entry / self.MANIFEST).is_file()):
+                found.append(int(entry.name))
+        return sorted(found)
+
+    def latest_generation(self) -> Optional[int]:
+        generations = self.generations()
+        return generations[-1] if generations else None
+
+    def _next_generation_id(self) -> int:
+        root = self.generations_root
+        taken = [int(p.name) for p in root.iterdir()
+                 if p.is_dir() and p.name.isdigit()] if root.is_dir() else []
+        return max(taken, default=0) + 1
+
+    def _sweep_staging(self) -> None:
+        """Drop staging directories a crashed publish left behind."""
+        root = self.generations_root
+        if not root.is_dir():
+            return
+        for entry in root.iterdir():
+            if entry.is_dir() and entry.name.startswith(".staging-"):
+                shutil.rmtree(entry, ignore_errors=True)
+
+    def publish_generation(self, names: Optional[List[str]] = None) -> int:
+        """Snapshot the flat artifacts into the next ``generations/`` slot.
+
+        Copies the files into a hidden staging directory, writes the
+        checksummed manifest last, then atomically renames staging into
+        place — a crash (or an ``"artifacts.publish"`` fault) at any
+        point leaves no partially visible generation, and prior
+        generations keep serving.  Returns the new generation id.
+        """
+        if names is None:
+            names = [n for n in self.PUBLISHABLE if self.has(n)]
+        missing = [n for n in names if not self.has(n)]
+        if missing:
+            raise FileNotFoundError(
+                "cannot publish generation: missing artifact(s) %s under %s"
+                % (", ".join(missing), self.root))
+        if not names:
+            raise FileNotFoundError(
+                "cannot publish generation: no artifacts under %s" % self.root)
+        self._sweep_staging()
+        self.generations_root.mkdir(parents=True, exist_ok=True)
+        generation = self._next_generation_id()
+        staging = self.generations_root / (".staging-%06d" % generation)
+        try:
+            staging.mkdir()
+            manifest: Dict[str, Any] = {
+                "manifest_version": _MANIFEST_VERSION,
+                "generation": generation,
+                "created_unix": time.time(),
+                "files": {},
+            }
+            for name in names:
+                source = self.path(name)
+                shutil.copy2(source, staging / name)
+                manifest["files"][name] = {
+                    "sha256": file_sha256(staging / name),
+                    "bytes": (staging / name).stat().st_size,
+                }
+            (staging / self.MANIFEST).write_text(
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+            fault_point("artifacts.publish", generation=generation)
+            os.replace(staging, self.generation_dir(generation))
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return generation
+
+    def load_manifest(self, generation: int) -> Dict[str, Any]:
+        path = self.generation_dir(generation) / self.MANIFEST
+        if not path.is_file():
+            raise FileNotFoundError(
+                "generation %06d has no manifest under %s"
+                % (generation, self.generations_root))
+        try:
+            return json.loads(path.read_text())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ArtifactCorruptionError(
+                "generation %06d manifest %s is unreadable: %s"
+                % (generation, path, exc),
+                path=path, generation=generation) from exc
+
+    def verify_generation(self, generation: int,
+                          names: Optional[List[str]] = None
+                          ) -> Dict[str, Any]:
+        """Checksum-verify a generation; raises naming file + generation."""
+        manifest = self.load_manifest(generation)
+        directory = self.generation_dir(generation)
+        entries = manifest.get("files", {})
+        for name in (names if names is not None else sorted(entries)):
+            if name not in entries:
+                raise ArtifactCorruptionError(
+                    "generation %06d has no artifact %r (manifest lists: %s)"
+                    % (generation, name, ", ".join(sorted(entries)) or "none"),
+                    path=directory / name, generation=generation)
+            path = directory / name
+            expected = entries[name]
+            if not path.is_file():
+                raise ArtifactCorruptionError(
+                    "artifact %s missing from generation %06d"
+                    % (path, generation), path=path, generation=generation)
+            size = path.stat().st_size
+            if size != expected["bytes"]:
+                raise ArtifactCorruptionError(
+                    "artifact %s in generation %06d is %d bytes, manifest "
+                    "says %d — truncated or torn write"
+                    % (path, generation, size, expected["bytes"]),
+                    path=path, generation=generation)
+            digest = file_sha256(path)
+            if digest != expected["sha256"]:
+                raise ArtifactCorruptionError(
+                    "artifact %s in generation %06d fails its checksum "
+                    "(sha256 %s != manifest %s)"
+                    % (path, generation, digest, expected["sha256"]),
+                    path=path, generation=generation)
+        return manifest
+
+    def resolve(self, name: str, generation: Optional[int] = None,
+                verify: bool = True) -> pathlib.Path:
+        """Path of ``name`` in a generation, or the flat copy.
+
+        ``generation=None`` prefers the newest published generation
+        that carries the file and falls back to the flat layout (pre-
+        generation artifact directories).  An explicit generation must
+        exist and carry the file.  With ``verify`` the file is
+        checksummed against the manifest before the path is returned.
+        """
+        if generation is None:
+            for candidate in reversed(self.generations()):
+                try:
+                    manifest = self.load_manifest(candidate)
+                except ArtifactCorruptionError:
+                    continue
+                if name in manifest.get("files", {}):
+                    if verify:
+                        self.verify_generation(candidate, names=[name])
+                    return self.generation_dir(candidate) / name
+            return self.path(name)
+        if generation not in self.generations():
+            raise FileNotFoundError(
+                "generation %06d is not published under %s (have: %s)"
+                % (generation, self.generations_root,
+                   ", ".join("%06d" % g for g in self.generations())
+                   or "none"))
+        if verify:
+            self.verify_generation(generation, names=[name])
+        return self.generation_dir(generation) / name
+
+    def gc(self, keep: int, live: Optional[int] = None) -> List[int]:
+        """Prune old generations, keeping the newest ``keep``.
+
+        The ``live`` generation (default: the latest) is never removed
+        even if it falls outside the keep window.  Returns the removed
+        generation ids.
+        """
+        if keep < 1:
+            raise ValueError("gc: keep must be >= 1, got %d" % keep)
+        generations = self.generations()
+        if live is None:
+            live = generations[-1] if generations else None
+        elif live not in generations:
+            raise ValueError("gc: live generation %06d is not published"
+                             % live)
+        removable = generations[:-keep] if keep < len(generations) else []
+        removed = []
+        for generation in removable:
+            if generation == live:
+                continue
+            shutil.rmtree(self.generation_dir(generation), ignore_errors=True)
+            removed.append(generation)
+        self._sweep_staging()
+        return removed
+
     def __repr__(self) -> str:
-        return "ArtifactStore(%s: %s)" % (self.root, ", ".join(self.files()))
+        generations = self.generations()
+        tail = (", generations=%s" % len(generations)) if generations else ""
+        return "ArtifactStore(%s: %s%s)" % (self.root, ", ".join(self.files()),
+                                            tail)

@@ -9,6 +9,7 @@ Subcommands cover the full lifecycle:
 - ``index``  — rebuild (and save) the inverted indices from persisted
   artifacts without retraining, e.g. to re-shard or switch backends;
 - ``eval``   — recompute the offline metrics from persisted artifacts;
+- ``gc``     — prune old published generations (never the live one);
 - ``models`` — list the registered model variant names.
 
 Examples::
@@ -22,6 +23,8 @@ Examples::
     python -m repro index --artifacts artifacts/tiny \
         --set index.backend=sharded --set index.num_shards=4
     python -m repro eval --artifacts artifacts/tiny
+    python -m repro serve --artifacts artifacts/tiny --generation 2
+    python -m repro gc --artifacts artifacts/tiny --keep 3
 """
 
 from __future__ import annotations
@@ -59,6 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="reload artifacts and serve retrieval requests")
     serve.add_argument("--artifacts", metavar="DIR", required=True)
+    serve.add_argument("--generation", type=int, default=None, metavar="N",
+                       help="serve from this published generation "
+                            "(default: the newest; pre-generation "
+                            "directories use the flat layout)")
     serve.add_argument("--queries", metavar="Q1,Q2,...",
                        help="comma-separated query ids (default: random)")
     serve.add_argument("--preclicks", metavar="P;P;...",
@@ -79,7 +86,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--set", dest="overrides", action="append",
                        default=[], metavar="SECTION.KEY=VALUE",
                        help="override a serving-time config value, e.g. "
-                            "serving.admission_deadline_ms=20")
+                            "serving.admission_deadline_ms=20 (serving.* "
+                            "and faults.* sections)")
     serve.add_argument("--seed", type=int, default=0)
 
     index = sub.add_parser(
@@ -98,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
                           default=[], metavar="SECTION.KEY=VALUE",
                           help="override an eval-time config value, e.g. "
                                "eval.auc_samples=1000")
+
+    gc = sub.add_parser(
+        "gc", help="prune old published generations (never the live one)")
+    gc.add_argument("--artifacts", metavar="DIR", required=True)
+    gc.add_argument("--keep", type=int, required=True, metavar="N",
+                    help="number of newest generations to keep")
 
     sub.add_parser("models", help="list the registered model variants")
     return parser
@@ -124,6 +138,8 @@ def _cmd_run(args) -> int:
     if pipeline.store is not None:
         print("artifacts: %s (%s)" % (pipeline.store.root,
                                       ", ".join(pipeline.store.files())))
+        if pipeline.serving_generation is not None:
+            print("published generation %06d" % pipeline.serving_generation)
     return 0
 
 
@@ -159,8 +175,15 @@ def _parse_requests(args, num_queries: int, num_items: int):
 
 
 def _cmd_serve(args) -> int:
-    pipeline = Pipeline.from_artifacts(args.artifacts)
-    _apply_section_overrides(pipeline, args.overrides, "serving")
+    pipeline = Pipeline.from_artifacts(args.artifacts,
+                                       generation=args.generation)
+    # faults.* is allowed alongside serving.*: injecting serving-time
+    # faults (degraded shards, slice errors) is exactly what the chaos
+    # harness does, and the plan never changes what the artifacts mean
+    _apply_section_overrides(pipeline, args.overrides,
+                             ("serving", "faults"))
+    if pipeline.serving_generation is not None:
+        print("serving generation %06d" % pipeline.serving_generation)
     sim_cfg = pipeline.config.data.simulator_config()
     queries, preclicks = _parse_requests(args, sim_cfg.num_queries,
                                          sim_cfg.num_items)
@@ -175,6 +198,11 @@ def _cmd_serve(args) -> int:
     stats = pipeline.engine.stats
     print("served %d request(s) in %d micro-batch(es), %.3f ms/request"
           % (stats.requests, stats.batches, 1000.0 * stats.service_seconds))
+    if stats.degraded:
+        print("DEGRADED: %d request(s) in %d batch(es) got empty results "
+              "after %d slice error(s)"
+              % (stats.degraded_requests, stats.degraded_batches,
+                 stats.slice_errors))
     return 0
 
 
@@ -200,9 +228,16 @@ def _serve_admitted(pipeline, args, queries, preclicks) -> int:
     stats = controller.stats
     latency = stats.latency_percentiles()
     print("admitted %d/%d request(s) at %.0f qps (shed %d: %d queue-full, "
-          "%d deadline)"
+          "%d deadline, %d breaker)"
           % (stats.served, stats.offered, args.qps, stats.shed,
-             stats.shed_queue, stats.shed_deadline))
+             stats.shed_queue, stats.shed_deadline, stats.shed_breaker))
+    engine_stats = pipeline.engine.stats
+    if engine_stats.degraded:
+        print("DEGRADED: %d request(s) got empty results after %d slice "
+              "error(s)" % (engine_stats.degraded_requests,
+                            engine_stats.slice_errors))
+    if controller.breaker is not None:
+        print("breaker: %s" % controller.breaker.summary())
     print("latency p50/p95/p99: %.3f / %.3f / %.3f ms  (queue deadline "
           "%.0f ms, max batch %d)"
           % (1000.0 * latency["p50"], 1000.0 * latency["p95"],
@@ -211,25 +246,30 @@ def _serve_admitted(pipeline, args, queries, preclicks) -> int:
     return 0
 
 
-def _apply_section_overrides(pipeline, overrides, section: str) -> None:
-    """Apply ``--set`` overrides restricted to one config section.
+def _apply_section_overrides(pipeline, overrides, sections) -> None:
+    """Apply ``--set`` overrides restricted to the named config sections.
 
-    The artifact-based subcommands only accept overrides of the section
+    The artifact-based subcommands only accept overrides of the sections
     they re-run: everything else (data, graph, model geometry, training)
     is baked into the persisted model and indices, so changing it would
     silently disagree with the artifacts.
     """
     if not overrides:
         return
+    if isinstance(sections, str):
+        sections = (sections,)
+    allowed = tuple(section + "." for section in sections)
     foreign = [a for a in overrides
-               if not a.strip().startswith(section + ".")]
+               if not a.strip().startswith(allowed)]
     if foreign:
-        raise SystemExit("%s only accepts %s.* overrides (the artifacts "
+        names = "/".join(s + ".*" for s in sections)
+        raise SystemExit("%s only accepts %s overrides (the artifacts "
                          "were produced with the persisted config); got %s"
-                         % (section, section,
-                            ", ".join(map(repr, foreign))))
+                         % (sections[0], names, ", ".join(map(repr, foreign))))
     pipeline.config = pipeline.ctx.config = \
         pipeline.config.with_overrides(overrides)
+    # a fresh fault plan in the overrides must reach the injector
+    pipeline.install_faults()
 
 
 def _cmd_index(args) -> int:
@@ -253,6 +293,24 @@ def _cmd_eval(args) -> int:
     return 0
 
 
+def _cmd_gc(args) -> int:
+    from repro.pipeline.artifacts import ArtifactStore
+    store = ArtifactStore(args.artifacts, create=False)
+    generations = store.generations()
+    if not generations:
+        print("no published generations under %s" % store.root)
+        return 0
+    live = store.latest_generation()
+    removed = store.gc(args.keep)
+    kept = store.generations()
+    print("removed %d generation(s)%s; kept %s (live: %06d)"
+          % (len(removed),
+             " (%s)" % ", ".join("%06d" % g for g in removed)
+             if removed else "",
+             ", ".join("%06d" % g for g in kept), live))
+    return 0
+
+
 def _cmd_models(_args) -> int:
     for name in list_models():
         print(name)
@@ -267,7 +325,8 @@ def _cmd_models(_args) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"run": _cmd_run, "serve": _cmd_serve, "index": _cmd_index,
-               "eval": _cmd_eval, "models": _cmd_models}[args.command]
+               "eval": _cmd_eval, "gc": _cmd_gc,
+               "models": _cmd_models}[args.command]
     return handler(args)
 
 

@@ -19,11 +19,13 @@ import json
 import pathlib
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.common import atomic_write_text
 from repro.data.synthetic import SimulatorConfig
 from repro.graph.schema import Relation
 from repro.models.amcad import AMCADConfig, list_models
 from repro.models.encoder import COMPUTE_PLANES
 from repro.retrieval.backend import BACKENDS
+from repro.testing.faults import FaultSpec
 from repro.training.trainer import DATA_PLANES, TrainerConfig
 
 
@@ -158,6 +160,9 @@ class TrainingConfig:
     #: GCN rounds kept on the tape, counted from the top (0 = full
     #: backward; frontier compute plane only)
     backward_depth: int = 0
+    #: optimiser steps between resume checkpoints (0 disables; resumed
+    #: runs produce bit-identical losses to uninterrupted ones)
+    checkpoint_every: int = 0
 
     def __post_init__(self):
         if self.steps < 1:
@@ -195,6 +200,19 @@ class TrainingConfig:
                 "silently miss the per-worker draw cache on every plan; "
                 "use plan_refresh > prefetch_workers"
                 % (self.plan_refresh, self.prefetch_workers))
+        if self.checkpoint_every < 0:
+            raise ValueError("training.checkpoint_every must be >= 0, got %d"
+                             % self.checkpoint_every)
+        if (self.checkpoint_every > 0 and self.plan_refresh > 1
+                and (self.checkpoint_every * self.accumulate_steps)
+                % self.plan_refresh != 0):
+            raise ValueError(
+                "training.checkpoint_every=%d with accumulate_steps=%d must "
+                "checkpoint on a plan_refresh=%d boundary (checkpoint_every "
+                "* accumulate_steps divisible by plan_refresh), or a resumed "
+                "run would regenerate plans from a different window"
+                % (self.checkpoint_every, self.accumulate_steps,
+                   self.plan_refresh))
 
     def trainer_config(self) -> TrainerConfig:
         return TrainerConfig(**dataclasses.asdict(self))
@@ -219,6 +237,13 @@ class IndexConfig:
     #: thread-pool width for shard builds/searches and for the serving
     #: engine's shard fan-out (1 = sequential)
     shard_parallelism: int = 1
+    #: per-shard search deadline in ms (0 disables; a timed-out shard
+    #: is retried, then excluded from the merge — degraded mode)
+    shard_timeout_ms: float = 0.0
+    #: retries per failed shard search before it is excluded
+    shard_retries: int = 0
+    #: base backoff between shard retry rounds in ms (doubles per round)
+    shard_backoff_ms: float = 0.0
 
     def __post_init__(self):
         if self.top_k < 1:
@@ -239,6 +264,15 @@ class IndexConfig:
             raise ValueError("index.inner_backend must be one of: %s; "
                              "got %r" % (", ".join(inner),
                                          self.inner_backend))
+        if self.shard_timeout_ms < 0:
+            raise ValueError("index.shard_timeout_ms must be >= 0, got %r"
+                             % self.shard_timeout_ms)
+        if self.shard_retries < 0:
+            raise ValueError("index.shard_retries must be >= 0, got %d"
+                             % self.shard_retries)
+        if self.shard_backoff_ms < 0:
+            raise ValueError("index.shard_backoff_ms must be >= 0, got %r"
+                             % self.shard_backoff_ms)
         if self.relations is not None:
             valid = {r.value for r in Relation}
             unknown = sorted(set(self.relations) - valid)
@@ -264,6 +298,14 @@ class IndexConfig:
             kwargs.setdefault("num_shards", self.num_shards)
             kwargs.setdefault("inner_backend", self.inner_backend)
             kwargs.setdefault("parallelism", self.shard_parallelism)
+            if self.shard_timeout_ms > 0:
+                kwargs.setdefault("shard_timeout",
+                                  self.shard_timeout_ms / 1000.0)
+            if self.shard_retries > 0:
+                kwargs.setdefault("shard_retries", self.shard_retries)
+            if self.shard_backoff_ms > 0:
+                kwargs.setdefault("shard_backoff",
+                                  self.shard_backoff_ms / 1000.0)
         return kwargs
 
     @property
@@ -303,6 +345,15 @@ class ServingConfig:
     admission_max_batch: int = 0
     #: fraction of the admission queue reserved for the paid lane
     admission_priority_share: float = 0.0
+    #: retries per raising engine shard slice before it degrades to
+    #: empty results for its requests
+    slice_retries: int = 0
+    #: circuit-breaker outcome window (0 disables the breaker)
+    breaker_window: int = 0
+    #: error rate over the window that trips the breaker open
+    breaker_threshold: float = 0.5
+    #: while open, every Nth admission passes as a half-open probe
+    breaker_probe_every: int = 8
 
     def __post_init__(self):
         if self.k < 1 or self.expansion_k < 1 or self.ads_per_key < 1:
@@ -333,6 +384,27 @@ class ServingConfig:
         if not 0.0 <= self.admission_priority_share <= 1.0:
             raise ValueError("serving.admission_priority_share must be in "
                              "[0, 1], got %r" % self.admission_priority_share)
+        if self.slice_retries < 0:
+            raise ValueError("serving.slice_retries must be >= 0, got %d"
+                             % self.slice_retries)
+        if self.breaker_window < 0:
+            raise ValueError("serving.breaker_window must be >= 0, got %d"
+                             % self.breaker_window)
+        if not 0.0 < self.breaker_threshold <= 1.0:
+            raise ValueError("serving.breaker_threshold must be in (0, 1], "
+                             "got %r" % self.breaker_threshold)
+        if self.breaker_probe_every < 1:
+            raise ValueError("serving.breaker_probe_every must be >= 1, "
+                             "got %d" % self.breaker_probe_every)
+
+    def make_breaker(self):
+        """A configured :class:`CircuitBreaker`, or ``None`` when disabled."""
+        if self.breaker_window < 1:
+            return None
+        from repro.serving.breaker import CircuitBreaker
+        return CircuitBreaker(window=self.breaker_window,
+                              threshold=self.breaker_threshold,
+                              probe_every=self.breaker_probe_every)
 
     def admission_kwargs(self) -> Dict[str, Any]:
         """Constructor kwargs for an ``AdmissionController`` over the engine.
@@ -380,6 +452,36 @@ class EvalConfig:
                                  "eval.ab_control is set")
 
 
+@dataclasses.dataclass
+class FaultsConfig:
+    """Fault-injection plan (the chaos harness; empty = no faults).
+
+    Each entry of ``specs`` is a
+    :class:`~repro.testing.faults.FaultSpec` as a plain dict
+    (``{"site": "shard.search", "mode": "hang", ...}``); with
+    ``enabled`` the plan is installed process-wide when a pipeline
+    stands up its serving engine or trainer, and shipped to spawned
+    prefetch workers.  Strictly a testing/benchmark surface — the
+    default config injects nothing.
+    """
+
+    enabled: bool = True
+    specs: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self):
+        for i, spec in enumerate(self.specs):
+            if not isinstance(spec, dict):
+                raise ValueError("faults.specs[%d] must be an object, got %r"
+                                 % (i, type(spec).__name__))
+            FaultSpec.from_dict(spec)  # full key/value validation
+
+    def fault_specs(self) -> List[FaultSpec]:
+        """The validated specs, or ``[]`` when disabled."""
+        if not self.enabled:
+            return []
+        return [FaultSpec.from_dict(spec) for spec in self.specs]
+
+
 _SECTIONS = {
     "data": DataConfig,
     "graph": GraphConfig,
@@ -388,6 +490,7 @@ _SECTIONS = {
     "index": IndexConfig,
     "serving": ServingConfig,
     "eval": EvalConfig,
+    "faults": FaultsConfig,
 }
 
 
@@ -406,6 +509,7 @@ class PipelineConfig:
     index: IndexConfig = dataclasses.field(default_factory=IndexConfig)
     serving: ServingConfig = dataclasses.field(default_factory=ServingConfig)
     eval: EvalConfig = dataclasses.field(default_factory=EvalConfig)
+    faults: FaultsConfig = dataclasses.field(default_factory=FaultsConfig)
 
     # -- dict / JSON round-trip ----------------------------------------------
 
@@ -438,9 +542,7 @@ class PipelineConfig:
         return cls.from_dict(json.loads(text))
 
     def save(self, path) -> pathlib.Path:
-        path = pathlib.Path(path)
-        path.write_text(self.to_json() + "\n")
-        return path
+        return atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path) -> "PipelineConfig":

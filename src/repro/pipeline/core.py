@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.pipeline.artifacts import ArtifactStore
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.report import PipelineReport, StageReport, jsonify
+from repro.testing import faults as fault_harness
 from repro.pipeline.stages import (
     DEFAULT_STAGES,
     EvalStage,
@@ -58,6 +59,20 @@ class Pipeline:
             context.store = self.store
         self.ctx = context
         self.report: Optional[PipelineReport] = None
+        #: generation the serving plane is bound to (None = flat layout)
+        self.serving_generation: Optional[int] = None
+        self.install_faults()
+
+    def install_faults(self) -> None:
+        """Install the config's fault-injection plan process-wide.
+
+        A no-op when ``config.faults`` is empty or disabled, so normal
+        pipelines never touch the injector (and never clobber a plan a
+        test installed directly).
+        """
+        specs = self.config.faults.fault_specs()
+        if specs:
+            fault_harness.install_plan(specs)
 
     # -- the full offline run ------------------------------------------------
 
@@ -80,19 +95,35 @@ class Pipeline:
         if self.store is not None:
             self.store.save_config(self.config)
             self.store.save_report(self.report)
+            # snapshot the finished run into a checksummed generation;
+            # a crash before this line leaves the previous generation
+            # (if any) as the newest published one
+            self.serving_generation = self.store.publish_generation()
         return self.report
 
     # -- the serving side ----------------------------------------------------
 
     @classmethod
-    def from_artifacts(cls, directory) -> "Pipeline":
+    def from_artifacts(cls, directory,
+                       generation: Optional[int] = None) -> "Pipeline":
         """Reload a finished run for model-free serving.
 
         Only the config and the persisted indices are needed; the
         retriever and engine come up exactly as configured, and
         :meth:`serve` answers requests without any retraining.
+
+        With ``generations/`` present the whole pipeline loads from
+        *one* generation — ``generation`` explicitly, or the newest
+        published one — after checksum-verifying every file it carries
+        (:class:`~repro.pipeline.artifacts.ArtifactCorruptionError`
+        names the offending file and generation).  Pre-generation
+        artifact directories fall back to the flat layout.
         """
         store = ArtifactStore(directory, create=False)
+        chosen = (generation if generation is not None
+                  else store.latest_generation())
+        if chosen is not None:
+            return cls._from_generation(store, chosen)
         if not store.has(ArtifactStore.CONFIG):
             raise FileNotFoundError("no %s under %s — not a pipeline "
                                     "artifact directory"
@@ -109,6 +140,66 @@ class Pipeline:
         if store.has(ArtifactStore.REPORT):
             pipeline.report = store.load_report()
         return pipeline
+
+    @classmethod
+    def _from_generation(cls, store: ArtifactStore,
+                         generation: int) -> "Pipeline":
+        """Stand a pipeline up from one published, verified generation."""
+        manifest = store.verify_generation(generation)
+        files = manifest.get("files", {})
+        for required in (ArtifactStore.CONFIG, ArtifactStore.INDICES):
+            if required not in files:
+                raise FileNotFoundError(
+                    "generation %06d under %s does not carry %s (has: %s)"
+                    % (generation, store.root, required,
+                       ", ".join(sorted(files)) or "none"))
+        base = store.generation_dir(generation)
+        config = PipelineConfig.load(base / ArtifactStore.CONFIG)
+        pipeline = cls(config, artifact_dir=str(store.root))
+        pipeline.serving_generation = generation
+        ctx = pipeline.ctx
+        ctx.index_set = IndexSet.load(base / ArtifactStore.INDICES)
+        if ArtifactStore.CONTROL_INDICES in files:
+            ctx.control_index_set = IndexSet.load(
+                base / ArtifactStore.CONTROL_INDICES)
+        if ArtifactStore.REPORT in files:
+            pipeline.report = PipelineReport.load(
+                base / ArtifactStore.REPORT)
+        return pipeline
+
+    def hot_swap(self, generation: Optional[int] = None) -> int:
+        """Swap the serving plane onto another published generation.
+
+        Verifies the target generation (default: the newest published
+        one), loads its indices, builds a fresh retriever, and — when a
+        live engine exists — flips it atomically via
+        :meth:`~repro.serving.engine.ServingEngine.swap_retriever`:
+        in-flight micro-batches finish on the old index, the next batch
+        snapshot sees the new one, and the response cache is cleared so
+        no stale entries cross the swap.  Returns the generation now
+        serving.
+        """
+        if self.store is None:
+            raise RuntimeError("hot_swap needs an artifact directory")
+        chosen = (generation if generation is not None
+                  else self.store.latest_generation())
+        if chosen is None:
+            raise FileNotFoundError("no published generations under %s"
+                                    % self.store.root)
+        manifest = self.store.verify_generation(chosen)
+        if ArtifactStore.INDICES not in manifest.get("files", {}):
+            raise FileNotFoundError(
+                "generation %06d under %s does not carry %s"
+                % (chosen, self.store.root, ArtifactStore.INDICES))
+        index_set = IndexSet.load(
+            self.store.generation_dir(chosen) / ArtifactStore.INDICES)
+        retriever = self.ctx.make_retriever(index_set)
+        self.ctx.index_set = index_set
+        self.ctx.retriever = retriever
+        self.serving_generation = chosen
+        if self.ctx.engine is not None:
+            self.ctx.engine.swap_retriever(retriever, generation=chosen)
+        return chosen
 
     @property
     def retriever(self) -> TwoLayerRetriever:
@@ -128,7 +219,10 @@ class Pipeline:
                 self.retriever, max_batch_size=serving.max_batch_size,
                 cache_size=serving.cache_size,
                 num_shards=index_cfg.serving_shards,
-                shard_parallelism=index_cfg.shard_parallelism)
+                shard_parallelism=index_cfg.shard_parallelism,
+                slice_retries=serving.slice_retries,
+                breaker=serving.make_breaker(),
+                generation=self.serving_generation or 0)
         return self.ctx.engine
 
     def serve(self, queries: Sequence[int],
@@ -155,31 +249,47 @@ class Pipeline:
 
     # -- artifact-restored stage reruns (CLI ``index`` / ``eval``) -----------
 
+    def _resolve_artifact(self, name: str):
+        """Path of ``name`` honouring the bound generation.
+
+        Returns the (verified) generation copy when this pipeline is
+        bound to one and the generation carries the file, the flat copy
+        otherwise, or ``None`` when the artifact is absent everywhere.
+        """
+        if self.store is None:
+            return None
+        if self.serving_generation is not None:
+            manifest = self.store.load_manifest(self.serving_generation)
+            if name in manifest.get("files", {}):
+                return self.store.resolve(
+                    name, generation=self.serving_generation)
+        return self.store.path(name) if self.store.has(name) else None
+
     def _restore_model_context(self, purpose: str) -> None:
         """Rebuild data/graphs from the config and reload checkpoints.
 
         Shared preamble of the artifact-based stage reruns: the dataset
         and graphs are deterministic functions of the config, the model
         (and the A/B control model, when persisted) comes from the
-        checkpoint files.
+        checkpoint files — from the bound generation when there is one.
         """
         from repro.pipeline.stages import DataStage, GraphStage
         DataStage().run(self.ctx)
         GraphStage().run(self.ctx)
         if self.ctx.model is None:
-            if self.store is None or not self.store.has(ArtifactStore.MODEL):
+            model_path = self._resolve_artifact(ArtifactStore.MODEL)
+            if model_path is None:
                 raise FileNotFoundError(
                     "no model checkpoint to %s — run the pipeline with an "
                     "artifact directory first" % purpose)
             from repro.io import load_model
-            self.ctx.model = load_model(self.store.path(ArtifactStore.MODEL),
-                                        self.ctx.train_graph)
-        if (self.ctx.control_model is None and self.store is not None
-                and self.store.has(ArtifactStore.CONTROL_MODEL)):
-            from repro.io import load_model
-            self.ctx.control_model = load_model(
-                self.store.path(ArtifactStore.CONTROL_MODEL),
-                self.ctx.train_graph)
+            self.ctx.model = load_model(model_path, self.ctx.train_graph)
+        if self.ctx.control_model is None:
+            control_path = self._resolve_artifact(ArtifactStore.CONTROL_MODEL)
+            if control_path is not None:
+                from repro.io import load_model
+                self.ctx.control_model = load_model(control_path,
+                                                    self.ctx.train_graph)
 
     def rebuild_indices(self) -> Dict[str, Any]:
         """Re-run the index stage from persisted artifacts — no retraining.
@@ -201,6 +311,10 @@ class Pipeline:
         self.ctx.engine = None
         if self.store is not None:
             self.store.save_config(self.config)
+            # the refreshed indices + config become a new generation, so
+            # serving processes can hot-swap onto them (or roll back)
+            self.serving_generation = self.store.publish_generation()
+            info["generation"] = self.serving_generation
         return info
 
     # -- standalone re-evaluation (CLI ``eval``) -----------------------------

@@ -16,6 +16,8 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.common import atomic_write_text
+
 
 def jsonify(value: Any) -> Any:
     """Recursively convert numpy scalars/arrays so ``json.dumps`` works."""
@@ -124,10 +126,8 @@ class PipelineReport:
                            for s in payload.get("stages", [])])
 
     def save(self, path) -> pathlib.Path:
-        path = pathlib.Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True)
-                        + "\n")
-        return path
+        return atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
 
     @classmethod
     def load(cls, path) -> "PipelineReport":

@@ -161,8 +161,15 @@ class TrainStage(Stage):
 
     def run(self, ctx: PipelineContext) -> Dict[str, Any]:
         cfg = ctx.config
-        ctx.model, ctx.training_report = self._train(ctx, cfg.model.name,
-                                                     cfg.model.seed)
+        # only the primary model checkpoints for resume (the control
+        # channel is retrained from scratch on a crash — it shares the
+        # store and two interleaved checkpoints would clobber each other)
+        checkpoint_path = (ctx.store.path(ArtifactStore.CHECKPOINT)
+                           if ctx.store is not None
+                           and cfg.training.checkpoint_every > 0 else None)
+        ctx.model, ctx.training_report = self._train(
+            ctx, cfg.model.name, cfg.model.seed,
+            checkpoint_path=checkpoint_path)
         if ctx.store is not None:
             from repro.io import save_model
             save_model(ctx.model, ctx.store.path(ArtifactStore.MODEL))
@@ -187,6 +194,17 @@ class TrainStage(Stage):
             info["prefetch_overlap_fraction"] = report.overlap_fraction
             info["summary"] += ", prefetch overlap %.0f%%" % (
                 100.0 * report.overlap_fraction)
+        if cfg.training.checkpoint_every > 0:
+            info["checkpoint_every"] = cfg.training.checkpoint_every
+            info["resumed_from_step"] = report.resumed_from_step
+            info["checkpoints_written"] = report.checkpoints_written
+            if report.resumed_from_step:
+                info["summary"] += " (resumed from step %d)" % (
+                    report.resumed_from_step)
+        if report.worker_deaths or report.worker_respawns:
+            info["worker_deaths"] = report.worker_deaths
+            info["worker_respawns"] = report.worker_respawns
+            info["summary"] += ", %d worker death(s)" % report.worker_deaths
         if cfg.eval.enabled and cfg.eval.ab_control:
             ctx.control_model, control_report = self._train(
                 ctx, cfg.eval.ab_control, cfg.model.seed)
@@ -201,14 +219,22 @@ class TrainStage(Stage):
         return info
 
     @staticmethod
-    def _train(ctx: PipelineContext, name: str, seed: int):
+    def _train(ctx: PipelineContext, name: str, seed: int,
+               checkpoint_path=None):
         cfg = ctx.config
         model = make_model(name, ctx.train_graph,
                            num_subspaces=cfg.model.num_subspaces,
                            subspace_dim=cfg.model.subspace_dim,
                            seed=seed, compute_plane=cfg.model.compute_plane,
                            **cfg.model.overrides)
-        report = Trainer(model, cfg.training.trainer_config()).train()
+        trainer = Trainer(model, cfg.training.trainer_config(),
+                          checkpoint_path=checkpoint_path)
+        if checkpoint_path is not None and checkpoint_path.exists():
+            # a leftover checkpoint means the previous run died mid-
+            # train: resume it (the trainer verifies the config
+            # fingerprint and deletes the file once training completes)
+            trainer.restore_checkpoint()
+        report = trainer.train()
         return model, report
 
 
@@ -273,7 +299,9 @@ class ServeStage(Stage):
             ctx.retriever, max_batch_size=cfg.max_batch_size,
             cache_size=cfg.cache_size,
             num_shards=index_cfg.serving_shards,
-            shard_parallelism=index_cfg.shard_parallelism)
+            shard_parallelism=index_cfg.shard_parallelism,
+            slice_retries=cfg.slice_retries,
+            breaker=cfg.make_breaker())
         info: Dict[str, Any] = {"enabled": True,
                                 "max_batch_size": cfg.max_batch_size,
                                 "cache_size": cfg.cache_size,

@@ -24,13 +24,16 @@ backend the caller selects.
 from __future__ import annotations
 
 import abc
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from typing import Callable, Dict, List, Optional, Tuple, Type, Union
 
 import numpy as np
 
 from repro.retrieval.mnn import MNNSearcher, RelationSpace
 from repro.retrieval.quantization import PQIndex
+from repro.testing.faults import InjectedTimeout, fault_point
 
 
 class SearchBackend(abc.ABC):
@@ -185,10 +188,25 @@ class ShardedBackend(SearchBackend):
 
     ``shard_bounds`` (the ``[start, stop)`` target ranges) is exposed
     so index persistence can record the shard layout.
+
+    Degraded mode: with ``shard_timeout`` (seconds) each shard search
+    runs on the pool and is awaited with that deadline; a timed-out,
+    raising, or fault-injected shard (``"shard.search"`` site, context
+    ``shard=i``) is retried up to ``shard_retries`` times with
+    exponential backoff (``shard_backoff * 2**round`` seconds between
+    rounds), and a shard that exhausts its retries is *excluded from
+    the merge* rather than failing the query.  The merged result is
+    then exactly the top-k over the healthy shards — never empty (all
+    shards failing raises), never out of order.  ``last_failed_shards``
+    / ``last_degraded`` describe the most recent search, ``health()``
+    aggregates counters, and the optional ``on_shard_outcome(shard,
+    ok)`` callback lets a circuit breaker watch per-shard outcomes.
     """
 
     def __init__(self, num_shards: int = 2, inner_backend: str = "exact",
-                 inner_kwargs: Optional[dict] = None, parallelism: int = 1):
+                 inner_kwargs: Optional[dict] = None, parallelism: int = 1,
+                 shard_timeout: Optional[float] = None,
+                 shard_retries: int = 0, shard_backoff: float = 0.0):
         if int(num_shards) < 1:
             raise ValueError("num_shards must be >= 1, got %d"
                              % int(num_shards))
@@ -198,22 +216,47 @@ class ShardedBackend(SearchBackend):
             raise ValueError("unknown inner backend %r (have: %s)"
                              % (inner_backend,
                                 ", ".join(sorted(BACKENDS))))
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError("shard_timeout must be > 0 seconds or None, "
+                             "got %r" % shard_timeout)
+        if int(shard_retries) < 0:
+            raise ValueError("shard_retries must be >= 0, got %d"
+                             % int(shard_retries))
+        if shard_backoff < 0:
+            raise ValueError("shard_backoff must be >= 0, got %r"
+                             % shard_backoff)
         self.num_shards = int(num_shards)
         self.inner_backend = inner_backend
         self.inner_kwargs = dict(inner_kwargs or {})
         self.parallelism = max(int(parallelism), 1)
+        self.shard_timeout = shard_timeout
+        self.shard_retries = int(shard_retries)
+        self.shard_backoff = float(shard_backoff)
         self.space: Optional[RelationSpace] = None
         self.shards: List[SearchBackend] = []
         self.shard_bounds: List[Tuple[int, int]] = []
         self._executor: Optional[ThreadPoolExecutor] = None
+        # degraded-mode bookkeeping
+        self.searches = 0
+        self.degraded_searches = 0
+        self.shard_errors: List[int] = []
+        self.shard_timeouts: List[int] = []
+        self.last_failed_shards: List[int] = []
+        self.on_shard_outcome: Optional[Callable[[int, bool], None]] = None
 
     def _pool(self) -> ThreadPoolExecutor:
         # lazy and persistent: search() is the hot path (every index
         # chunk, every serving key expansion), so the pool must not be
-        # rebuilt per call
+        # rebuilt per call.  With a shard timeout every shard search is
+        # awaited through a future, so the pool is sized to fan out all
+        # shards at once — otherwise queue wait would eat the deadline.
         if self._executor is None:
+            workers = self.parallelism
+            if self.shard_timeout is not None:
+                workers = max(workers, len(self.shard_bounds) or
+                              self.num_shards)
             self._executor = ThreadPoolExecutor(
-                max_workers=self.parallelism,
+                max_workers=workers,
                 thread_name_prefix="shard-search")
         return self._executor
 
@@ -246,7 +289,52 @@ class ShardedBackend(SearchBackend):
                                                 self.shard_bounds))
         else:
             self.shards = [build_one(b) for b in self.shard_bounds]
+        self.shard_errors = [0] * len(self.shards)
+        self.shard_timeouts = [0] * len(self.shards)
         return self
+
+    @property
+    def last_degraded(self) -> bool:
+        return bool(self.last_failed_shards)
+
+    def health(self) -> Dict[str, object]:
+        """Degraded-mode counters for stats/monitoring surfaces."""
+        return {
+            "searches": self.searches,
+            "degraded_searches": self.degraded_searches,
+            "shard_errors": list(self.shard_errors),
+            "shard_timeouts": list(self.shard_timeouts),
+            "last_failed_shards": list(self.last_failed_shards),
+        }
+
+    def _record_shard_error(self, shard: int, exc: BaseException) -> None:
+        self.shard_errors[shard] += 1
+        if isinstance(exc, (FuturesTimeout, TimeoutError, InjectedTimeout)):
+            self.shard_timeouts[shard] += 1
+
+    def _run_shard_searches(self, tasks: Dict[int, Callable]
+                           ) -> Tuple[Dict[int, Tuple[np.ndarray, np.ndarray]],
+                                      Dict[int, BaseException]]:
+        """One fan-out round; returns per-shard results and failures."""
+        results: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        failures: Dict[int, BaseException] = {}
+        use_pool = (self.shard_timeout is not None
+                    or (self.parallelism > 1 and len(tasks) > 1))
+        if use_pool:
+            futures = {shard: self._pool().submit(task)
+                       for shard, task in tasks.items()}
+            for shard, future in futures.items():
+                try:
+                    results[shard] = future.result(timeout=self.shard_timeout)
+                except Exception as exc:
+                    failures[shard] = exc
+        else:
+            for shard, task in tasks.items():
+                try:
+                    results[shard] = task()
+                except Exception as exc:
+                    failures[shard] = exc
+        return results, failures
 
     def search(self, src_indices: np.ndarray, k: int,
                exclude_self: bool = False
@@ -254,29 +342,58 @@ class ShardedBackend(SearchBackend):
         self._require_built()
         src_indices = np.asarray(src_indices, dtype=np.int64)
         space = self.space
+        self.searches += 1
+        self.last_failed_shards = []
         k, same = self._clamp_k(space, k, exclude_self)
         if k < 1:
             return (np.zeros((src_indices.size, 0), dtype=np.int64),
                     np.zeros((src_indices.size, 0)))
 
-        def search_one(item) -> Tuple[np.ndarray, np.ndarray]:
-            (lo, hi), backend = item
-            width = hi - lo
+        def make_task(shard: int) -> Callable:
+            lo, hi = self.shard_bounds[shard]
+            backend = self.shards[shard]
             # one extra candidate when the (single) self row may be
             # dropped after the merge
-            fetch = min(k + 1, width) if same else min(k, width)
-            if fetch < 1:
-                return (np.zeros((src_indices.size, 0), dtype=np.int64),
-                        np.zeros((src_indices.size, 0)))
-            ids, dists = backend.search(src_indices, fetch)
-            return ids + lo, dists
+            fetch = min(k + 1, hi - lo) if same else min(k, hi - lo)
 
-        items = list(zip(self.shard_bounds, self.shards))
-        if self.parallelism > 1 and len(items) > 1:
-            pieces = list(self._pool().map(search_one, items))
-        else:
-            pieces = [search_one(item) for item in items]
+            def task() -> Tuple[np.ndarray, np.ndarray]:
+                if fetch < 1:
+                    return (np.zeros((src_indices.size, 0), dtype=np.int64),
+                            np.zeros((src_indices.size, 0)))
+                fault_point("shard.search", shard=shard)
+                ids, dists = backend.search(src_indices, fetch)
+                return ids + lo, dists
 
+            return task
+
+        results: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        remaining = list(range(len(self.shards)))
+        last_failure: Optional[BaseException] = None
+        for round_no in range(self.shard_retries + 1):
+            if not remaining:
+                break
+            if round_no > 0 and self.shard_backoff > 0:
+                time.sleep(self.shard_backoff * (2 ** (round_no - 1)))
+            round_results, failures = self._run_shard_searches(
+                {shard: make_task(shard) for shard in remaining})
+            results.update(round_results)
+            for shard, exc in failures.items():
+                self._record_shard_error(shard, exc)
+                last_failure = exc
+            remaining = sorted(failures)
+
+        self.last_failed_shards = remaining
+        if self.on_shard_outcome is not None:
+            for shard in range(len(self.shards)):
+                self.on_shard_outcome(shard, shard not in remaining)
+        if remaining:
+            self.degraded_searches += 1
+        if not results:
+            raise RuntimeError(
+                "sharded search failed: all %d shard(s) errored (last: %s)"
+                % (len(self.shards), last_failure)) from last_failure
+
+        pieces = [results[shard] for shard in sorted(results)]
         all_ids = np.concatenate([p[0] for p in pieces], axis=1)
         all_dists = np.concatenate([p[1] for p in pieces], axis=1)
         if same:

@@ -90,6 +90,8 @@ class AdmissionStats:
     shed_queue: int = 0
     #: shed at dispatch: every worker busy past the request's deadline
     shed_deadline: int = 0
+    #: shed at arrival: the circuit breaker is open (downstream faulty)
+    shed_breaker: int = 0
     offered_by_lane: Dict[str, int] = dataclasses.field(
         default_factory=_lane_counter)
     shed_by_lane: Dict[str, int] = dataclasses.field(
@@ -105,7 +107,7 @@ class AdmissionStats:
 
     @property
     def shed(self) -> int:
-        return self.shed_queue + self.shed_deadline
+        return self.shed_queue + self.shed_deadline + self.shed_breaker
 
     @property
     def shed_rate(self) -> float:
@@ -148,6 +150,7 @@ class AdmissionStats:
             "shed": self.shed,
             "shed_queue": self.shed_queue,
             "shed_deadline": self.shed_deadline,
+            "shed_breaker": self.shed_breaker,
             "shed_rate": self.shed_rate,
             "shed_by_lane": dict(self.shed_by_lane),
             "mean_batch_size": self.mean_batch_size,
@@ -202,7 +205,8 @@ class AdmissionController:
                  num_workers: int = 1,
                  priority_share: float = 0.0,
                  k: int = 20,
-                 keep_results: bool = False):
+                 keep_results: bool = False,
+                 breaker=None):
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1, got %d" % max_queue)
         if not deadline_ms > 0:
@@ -223,6 +227,10 @@ class AdmissionController:
         self.num_workers = int(num_workers)
         self.priority_share = float(priority_share)
         self.k = int(k)
+        # defaults to the engine's breaker so the loop closes by itself:
+        # engine slice failures trip it, admission sheds on it
+        self.breaker = breaker if breaker is not None \
+            else getattr(engine, "breaker", None)
         self.stats = AdmissionStats()
         self.results: List[Tuple[AdmissionRequest, Any]] = []
         self._keep_results = bool(keep_results)
@@ -271,6 +279,12 @@ class AdmissionController:
         self._clock = request.arrival
         self.stats.offered += 1
         self.stats.offered_by_lane[request.lane] += 1
+        if self.breaker is not None and not self.breaker.allow():
+            # downstream is tripped: shed at the door (half-open probes
+            # pass through so recovery is observed)
+            self.stats.shed_breaker += 1
+            self.stats.shed_by_lane[request.lane] += 1
+            return False
         cap = (self.max_queue if request.lane == "paid"
                else self._organic_cap)
         if self.depth >= cap:

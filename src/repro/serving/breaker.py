@@ -1,0 +1,99 @@
+"""Count-based circuit breaker between the engine and admission.
+
+When slice/shard error rates spike, continuing to admit traffic just
+burns queue capacity on requests that will come back degraded; the
+deployed posture is to shed at the door until the dependency recovers.
+The breaker here is deliberately *clock-free*: the serving engine runs
+on the real clock while the :class:`~repro.serving.admission.\
+AdmissionController` simulates a virtual one, so recovery is counted in
+calls, not seconds — a sliding window of the last ``window`` outcomes
+trips the breaker ``open`` when the error rate reaches ``threshold``,
+and while open every ``probe_every``-th admission is allowed through as
+a half-open probe.  One successful probe closes the breaker and resets
+the window; a failed probe keeps it open.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict
+
+
+class CircuitBreaker:
+    """Sliding-window error-rate breaker with half-open probes."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+
+    def __init__(self, window: int = 32, threshold: float = 0.5,
+                 probe_every: int = 8, min_samples: int = 8):
+        if window < 1:
+            raise ValueError("breaker: window must be >= 1, got %d" % window)
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("breaker: threshold must be in (0, 1], got %r"
+                             % threshold)
+        if probe_every < 1:
+            raise ValueError("breaker: probe_every must be >= 1, got %d"
+                             % probe_every)
+        self.window = int(window)
+        self.threshold = float(threshold)
+        self.probe_every = int(probe_every)
+        self.min_samples = max(int(min_samples), 1)
+        self.state = self.CLOSED
+        self.trips = 0
+        self.probes = 0
+        self.shed_calls = 0
+        self._lock = threading.Lock()
+        self._outcomes: Deque[bool] = deque(maxlen=self.window)
+        self._open_calls = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == self.OPEN
+
+    def error_rate(self) -> float:
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return 1.0 - sum(self._outcomes) / len(self._outcomes)
+
+    def allow(self) -> bool:
+        """Gate one admission; while open, only probes pass."""
+        with self._lock:
+            if self.state == self.CLOSED:
+                return True
+            self._open_calls += 1
+            if self._open_calls % self.probe_every == 0:
+                self.probes += 1
+                return True
+            self.shed_calls += 1
+            return False
+
+    def record(self, ok: bool) -> None:
+        """Feed one downstream outcome (a slice/shard result)."""
+        with self._lock:
+            if self.state == self.OPEN:
+                if ok:
+                    # a successful probe closes the breaker with a
+                    # clean window, so one stale error cannot re-trip it
+                    self.state = self.CLOSED
+                    self._outcomes.clear()
+                    self._open_calls = 0
+                return
+            self._outcomes.append(bool(ok))
+            if (len(self._outcomes) >= self.min_samples
+                    and (1.0 - sum(self._outcomes) / len(self._outcomes))
+                    >= self.threshold):
+                self.state = self.OPEN
+                self.trips += 1
+                self._open_calls = 0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "error_rate": self.error_rate(),
+            "trips": self.trips,
+            "probes": self.probes,
+            "shed_calls": self.shed_calls,
+        }

@@ -35,6 +35,9 @@ from typing import TYPE_CHECKING, Any, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.serving.breaker import CircuitBreaker
+from repro.testing.faults import fault_point
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.retrieval.two_layer import (
         KeyExpansion,
@@ -107,6 +110,13 @@ class EngineStats:
     #: timestamp, or the start of its micro-batch on the bulk paths) to
     #: the end of the micro-batch that served it.
     request_wall_seconds: List[float] = dataclasses.field(default_factory=list)
+    #: fault-path counters: slice attempts that raised, requests served
+    #: with an empty degraded result after retries ran out, and hot
+    #: generation swaps applied to the running engine
+    slice_errors: int = 0
+    degraded_requests: int = 0
+    degraded_batches: int = 0
+    swaps: int = 0
 
     @property
     def total_busy_seconds(self) -> float:
@@ -149,9 +159,18 @@ class EngineStats:
         """p50/p95/p99 of the per-request wall latencies (ms-free: seconds)."""
         return percentiles(self.request_wall_seconds)
 
+    @property
+    def degraded(self) -> bool:
+        """Whether any request was served degraded (empty after retries)."""
+        return self.degraded_requests > 0
 
-def _signature(query: int, preclicks: Sequence[int]) -> Tuple:
-    return (int(query), tuple(int(item) for item in preclicks))
+
+def _signature(generation: int, query: int, preclicks: Sequence[int]) -> Tuple:
+    # generation-tagged: an in-flight slice finishing after a hot swap
+    # writes under the old generation's keys, which post-swap lookups
+    # can never hit
+    return (int(generation), int(query),
+            tuple(int(item) for item in preclicks))
 
 
 class ServingEngine:
@@ -179,25 +198,70 @@ class ServingEngine:
     shard_parallelism:
         Thread-pool width for running shard slices concurrently
         (1 keeps the fan-out sequential but still per-slice timed).
+    slice_retries:
+        Retries per shard slice when serving it raises (or an
+        ``"engine.slice"`` fault fires); a slice that exhausts them is
+        served *degraded* — empty results for its requests, counted on
+        :class:`EngineStats` — instead of failing the batch.
+    breaker:
+        Optional :class:`~repro.serving.breaker.CircuitBreaker` fed one
+        outcome per slice attempt; the admission layer consults it to
+        shed at the door while error rates spike.
+    generation:
+        Artifact generation the initial retriever came from (tags the
+        expansion-cache keys; see :meth:`swap_retriever`).
     """
 
     def __init__(self, retriever: "TwoLayerRetriever",
                  max_batch_size: int = 32, cache_size: int = 1024,
                  num_workers: int = 1, num_shards: int = 1,
-                 shard_parallelism: int = 1):
+                 shard_parallelism: int = 1, slice_retries: int = 0,
+                 breaker: Optional[CircuitBreaker] = None,
+                 generation: int = 0):
         self.retriever = retriever
         self.max_batch_size = max(int(max_batch_size), 1)
         self.cache = LRUCache(cache_size)
         self.num_workers = max(int(num_workers), 1)
         self.num_shards = max(int(num_shards), 1)
         self.shard_parallelism = max(int(shard_parallelism), 1)
+        self.slice_retries = max(int(slice_retries), 0)
+        self.breaker = breaker
+        self.generation = int(generation)
         self.stats = EngineStats(
             worker_busy_seconds=[0.0] * self.num_workers)
         self._pending: List[Tuple[int, Sequence[int], float]] = []
         # the LRU is shared across shard slices; a lock keeps its
-        # bookkeeping consistent when slices run on the thread pool
+        # bookkeeping consistent when slices run on the thread pool,
+        # and also guards the (retriever, generation) pair so a hot
+        # swap is one atomic pointer flip
         self._cache_lock = threading.Lock()
         self._executor: Optional[ThreadPoolExecutor] = None
+
+    # -- hot swap -------------------------------------------------------------
+
+    def swap_retriever(self, retriever: "TwoLayerRetriever",
+                       generation: Optional[int] = None) -> int:
+        """Atomically swap to a new retriever (a published generation).
+
+        In-flight micro-batches finish on the retriever they snapshotted
+        at batch start; new batches see the new one.  The expansion
+        cache is cleared under the same lock (and keys are generation-
+        tagged, so a straggler slice writing after the clear can never
+        poison the new generation).  Returns the new generation id.
+        """
+        with self._cache_lock:
+            self.retriever = retriever
+            if generation is None:
+                generation = self.generation + 1
+            self.generation = int(generation)
+            self.cache.clear()
+            self.stats.swaps += 1
+            return self.generation
+
+    def _snapshot(self) -> Tuple["TwoLayerRetriever", int]:
+        """The (retriever, generation) pair one micro-batch serves from."""
+        with self._cache_lock:
+            return self.retriever, self.generation
 
     def _pool(self) -> ThreadPoolExecutor:
         if self._executor is None:
@@ -307,16 +371,17 @@ class ServingEngine:
         return [(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:])
                 if b > a]
 
-    def _serve_slice(self, queries: np.ndarray,
-                     preclicks: Sequence[Sequence[int]],
-                     k: int) -> Tuple[List["RetrievalResult"], float]:
-        """Serve one shard slice; returns its results and its busy time."""
-        start = time.perf_counter()
+    def _expand_and_gather(self, retriever: "TwoLayerRetriever",
+                           generation: int, queries: np.ndarray,
+                           preclicks: Sequence[Sequence[int]],
+                           k: int) -> List["RetrievalResult"]:
+        """One slice attempt against a snapshotted retriever/generation."""
         expansions: List[Optional["KeyExpansion"]] = [None] * queries.size
         miss_indices: List[int] = []
         with self._cache_lock:
             for i in range(queries.size):
-                cached = self.cache.get(_signature(queries[i], preclicks[i]))
+                cached = self.cache.get(
+                    _signature(generation, queries[i], preclicks[i]))
                 if cached is not None:
                     expansions[i] = cached
                     self.stats.cache_hits += 1
@@ -324,16 +389,53 @@ class ServingEngine:
                     miss_indices.append(i)
                     self.stats.cache_misses += 1
         if miss_indices:
-            fresh = self.retriever.expand_keys_batch(
+            fresh = retriever.expand_keys_batch(
                 queries[miss_indices],
                 [preclicks[i] for i in miss_indices])
             with self._cache_lock:
                 for i, expansion in zip(miss_indices, fresh):
                     expansions[i] = expansion
-                    self.cache.put(_signature(queries[i], preclicks[i]),
-                                   expansion)
-        results = self.retriever.gather_batch(expansions, k=k)
-        return results, time.perf_counter() - start
+                    self.cache.put(
+                        _signature(generation, queries[i], preclicks[i]),
+                        expansion)
+        return retriever.gather_batch(expansions, k=k)
+
+    def _degraded_results(self, count: int) -> List["RetrievalResult"]:
+        """Empty per-request results for a slice that ran out of retries."""
+        from repro.retrieval.two_layer import RetrievalResult
+        return [RetrievalResult(ads=np.zeros(0, dtype=np.int64),
+                                scores=np.zeros(0), num_keys=0)
+                for _ in range(count)]
+
+    def _serve_slice(self, retriever: "TwoLayerRetriever", generation: int,
+                     slice_index: int, queries: np.ndarray,
+                     preclicks: Sequence[Sequence[int]],
+                     k: int) -> Tuple[List["RetrievalResult"], float]:
+        """Serve one shard slice; returns its results and its busy time.
+
+        A raising attempt (real, or the ``"engine.slice"`` fault point)
+        is retried up to ``slice_retries`` times; exhaustion degrades
+        the slice to empty results rather than failing the batch.
+        Every attempt's outcome feeds the circuit breaker.
+        """
+        start = time.perf_counter()
+        for attempt in range(self.slice_retries + 1):
+            try:
+                fault_point("engine.slice", slice=slice_index,
+                            attempt=attempt)
+                results = self._expand_and_gather(retriever, generation,
+                                                  queries, preclicks, k)
+            except Exception:
+                self.stats.slice_errors += 1
+                if self.breaker is not None:
+                    self.breaker.record(False)
+                continue
+            if self.breaker is not None:
+                self.breaker.record(True)
+            return results, time.perf_counter() - start
+        self.stats.degraded_requests += int(queries.size)
+        return self._degraded_results(queries.size), \
+            time.perf_counter() - start
 
     def _serve_batch(self, queries: np.ndarray,
                      preclicks: Sequence[Sequence[int]],
@@ -341,12 +443,17 @@ class ServingEngine:
                      arrivals: Optional[Sequence[float]] = None
                      ) -> List["RetrievalResult"]:
         batch_start = time.perf_counter()
+        retriever, generation = self._snapshot()
+        before_degraded = self.stats.degraded_requests
         slices = self._shard_slices(queries.size)
         if len(slices) <= 1:
-            results, elapsed = self._serve_slice(queries, preclicks, k)
+            results, elapsed = self._serve_slice(retriever, generation, 0,
+                                                 queries, preclicks, k)
             slice_times = [elapsed]
         else:
-            jobs = [(queries[a:b], preclicks[a:b], k) for a, b in slices]
+            jobs = [(retriever, generation, index,
+                     queries[a:b], preclicks[a:b], k)
+                    for index, (a, b) in enumerate(slices)]
             if self.shard_parallelism > 1:
                 outs = list(self._pool().map(
                     lambda job: self._serve_slice(*job), jobs))
@@ -354,6 +461,8 @@ class ServingEngine:
                 outs = [self._serve_slice(*job) for job in jobs]
             results = [r for slice_results, _ in outs for r in slice_results]
             slice_times = [elapsed for _, elapsed in outs]
+        if self.stats.degraded_requests > before_degraded:
+            self.stats.degraded_batches += 1
 
         # every shard slice is one unit of fleet work; the micro-batch
         # is done when its slowest shard is (parallel-fleet wall time)

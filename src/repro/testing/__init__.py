@@ -1,0 +1,20 @@
+"""Test-time instrumentation for the reproduction.
+
+``repro.testing.faults`` is the seed-deterministic fault-injection
+harness the robustness tests, the chaos CI job and
+``benchmarks/bench_fault_tolerance.py`` drive; production code calls
+its :func:`~repro.testing.faults.fault_point` hooks, which are no-ops
+until a plan is installed.
+"""
+
+from repro.testing.faults import (  # noqa: F401
+    FaultSpec,
+    InjectedFault,
+    InjectedTimeout,
+    active_specs,
+    fault_point,
+    fires,
+    install,
+    install_plan,
+    reset,
+)

@@ -50,6 +50,8 @@ import numpy as np
 from repro.graph.metapath import MetaPathWalker
 from repro.graph.sampling import NegativeSampler, SampleBatch
 from repro.models.plan import EncodePlan, NeighborDrawCache, build_encode_plan
+from repro.testing import faults as fault_harness
+from repro.testing.faults import fault_point
 
 #: per-payload refill rounds before settling for the fullest buffer
 #: (mirrors the trainer's batched plane, which keeps refilling across
@@ -198,18 +200,35 @@ def build_step_payload(state: ProducerState, step: int) -> StepPayload:
 
 
 def _worker_main(blob: bytes, worker_id: int, num_workers: int,
-                 total_steps: int, out_queue, stop, ready) -> None:
+                 total_steps: int, out_queue, stop, ready,
+                 start_step: int = 0, fault_plan=()) -> None:
     """Worker loop: unpickle the snapshot, produce the strided steps.
 
     ``ready`` is set after the snapshot is restored, so the consumer
     can exclude spawn/unpickle start-up from its throughput window.
     Exceptions ship through the queue as :class:`_WorkerFailure`
     payloads instead of dying silently.
+
+    The worker produces the steps of its stride class (``step %
+    num_workers == worker_id``) starting at ``start_step`` — the resume
+    offset of a checkpointed run, or the consumer's current step when
+    this worker replaces a crashed one.  ``fault_plan`` re-installs the
+    parent's fault specs in the spawned process; the
+    ``"prefetch.worker.start"`` / ``"prefetch.worker"`` fault points
+    simulate start-up and mid-production crashes (``kill`` mode dies
+    with :data:`~repro.testing.faults.KILL_EXIT_CODE`).
     """
     try:
+        if fault_plan:
+            fault_harness.install_plan(
+                fault_harness.FaultSpec.from_dict(dict(spec))
+                for spec in fault_plan)
         state = pickle.loads(blob)
+        fault_point("prefetch.worker.start", worker=worker_id)
         ready.set()
-        for step in range(worker_id, total_steps, num_workers):
+        first = start_step + ((worker_id - start_step) % num_workers)
+        for step in range(first, total_steps, num_workers):
+            fault_point("prefetch.worker", worker=worker_id, step=step)
             payload = build_step_payload(state, step)
             while not stop.is_set():
                 try:
@@ -254,13 +273,20 @@ class PlanProducer:
                  neighbor_samples: int, seed: int, num_workers: int = 0,
                  depth: int = 2, plan_refresh: int = 1,
                  walks_per_round: Optional[int] = None,
-                 start_timeout: float = 120.0):
+                 start_timeout: float = 120.0, start_step: int = 0,
+                 max_respawns: int = 4):
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0, got %d" % num_workers)
         if depth < 1:
             raise ValueError("depth must be >= 1, got %d" % depth)
         if total_steps < 0:
             raise ValueError("total_steps must be >= 0, got %d" % total_steps)
+        if not 0 <= start_step <= total_steps:
+            raise ValueError("start_step must be in [0, total_steps=%d], "
+                             "got %d" % (total_steps, start_step))
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0, got %d"
+                             % max_respawns)
         if plan_refresh < 1:
             raise ValueError("plan_refresh must be >= 1, got %d"
                              % plan_refresh)
@@ -276,46 +302,87 @@ class PlanProducer:
         self.num_workers = int(num_workers)
         self.depth = int(depth)
         self.start_timeout = float(start_timeout)
+        self.start_step = int(start_step)
+        self.max_respawns = int(max_respawns)
         self._state = ProducerState(
             walker, sampler, batch_size=batch_size, gcn_layers=gcn_layers,
             neighbor_samples=neighbor_samples, seed=seed,
             plan_refresh=plan_refresh, walks_per_round=walks_per_round)
         #: consumer-side blocked time (seconds); the overlap diagnostic
         self.wait_seconds = 0.0
+        #: worker crashes observed and replacements spawned (see
+        #: :meth:`producer_stats`); ``respawn_events`` records one dict
+        #: per replacement for the stage report
+        self.worker_deaths = 0
+        self.worker_respawns = 0
+        self.respawn_events: List[Dict[str, int]] = []
+        # the active fault plan rides to every worker; spawned processes
+        # start with an empty injector otherwise
+        self._fault_plan = [spec.to_dict()
+                            for spec in fault_harness.active_specs()]
         self._procs: list = []
+        self._worker_ids: List[int] = []
+        self._blob: Optional[bytes] = None
+        self._ctx = None
         self._queue = None
         self._stop = None
         self._started = False
 
     # -- lifecycle ----------------------------------------------------------
 
+    def _spawn(self, worker_id: int, start_step: int, fault_plan):
+        """Start one worker process; returns ``(proc, ready_event)``."""
+        ready = self._ctx.Event()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self._blob, worker_id, self.num_workers, self.total_steps,
+                  self._queue, self._stop, ready, start_step,
+                  list(fault_plan)),
+            daemon=True)
+        proc.start()
+        return proc, ready
+
+    def _await_ready(self, worker_id: int, proc, ready) -> None:
+        """Wait out one handshake, failing fast on a dead worker.
+
+        A worker that dies before setting ``ready`` (spawn crash,
+        ``"prefetch.worker.start"`` kill fault) surfaces as a clear
+        error with its exit code instead of a silent ``start_timeout``
+        wait.
+        """
+        deadline = time.perf_counter() + self.start_timeout
+        while not ready.wait(timeout=0.05):
+            if not proc.is_alive():
+                self.close()
+                raise RuntimeError(
+                    "prefetch worker %d died during the ready handshake "
+                    "(exit code %s)" % (worker_id, proc.exitcode))
+            if time.perf_counter() >= deadline:
+                self.close()
+                raise RuntimeError(
+                    "prefetch worker %d did not come up within %.0fs"
+                    % (worker_id, self.start_timeout))
+
     def start(self) -> None:
         """Spawn the pool and wait for every worker's ready handshake."""
         if self._started or self.num_workers == 0:
             self._started = True
             return
-        ctx = multiprocessing.get_context("spawn")
-        blob = pickle.dumps(self._state, protocol=pickle.HIGHEST_PROTOCOL)
-        self._queue = ctx.Queue(maxsize=self.depth)
-        self._stop = ctx.Event()
-        readies = []
+        self._ctx = multiprocessing.get_context("spawn")
+        self._blob = pickle.dumps(self._state,
+                                  protocol=pickle.HIGHEST_PROTOCOL)
+        self._queue = self._ctx.Queue(maxsize=self.depth)
+        self._stop = self._ctx.Event()
+        spawned = []
         for worker_id in range(self.num_workers):
-            ready = ctx.Event()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(blob, worker_id, self.num_workers, self.total_steps,
-                      self._queue, self._stop, ready),
-                daemon=True)
-            proc.start()
+            proc, ready = self._spawn(worker_id, self.start_step,
+                                      self._fault_plan)
             self._procs.append(proc)
-            readies.append(ready)
+            self._worker_ids.append(worker_id)
+            spawned.append((worker_id, proc, ready))
         self._started = True
-        for worker_id, ready in enumerate(readies):
-            if not ready.wait(timeout=self.start_timeout):
-                self.close()
-                raise RuntimeError(
-                    "prefetch worker %d did not come up within %.0fs"
-                    % (worker_id, self.start_timeout))
+        for worker_id, proc, ready in spawned:
+            self._await_ready(worker_id, proc, ready)
 
     def close(self) -> None:
         """Stop workers, drain the queue, join; terminate stragglers."""
@@ -339,6 +406,7 @@ class PlanProducer:
             self._queue.cancel_join_thread()
             self._queue = None
         self._procs = []
+        self._worker_ids = []
         self._stop = None
 
     def __enter__(self) -> "PlanProducer":
@@ -348,25 +416,71 @@ class PlanProducer:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    # -- crash recovery ------------------------------------------------------
+
+    def producer_stats(self) -> Dict[str, object]:
+        """Worker-death and respawn counters for reports/benchmarks."""
+        return {
+            "worker_deaths": self.worker_deaths,
+            "worker_respawns": self.worker_respawns,
+            "respawn_events": [dict(event) for event in self.respawn_events],
+        }
+
+    def _reap_and_respawn(self, at_step: int) -> None:
+        """Replace crashed workers so the run continues.
+
+        A worker that exited nonzero (e.g. SIGKILL, or a ``kill``-mode
+        fault) is replaced by a fresh process producing its stride class
+        from the consumer's current step — payloads are pure
+        ``(seed, step)``, so the replacement regenerates exactly the
+        steps the dead worker never delivered (an already-queued
+        duplicate is harmless: the reorder buffer just overwrites).
+        ``kill``-mode fault specs are dropped from the replacement's
+        plan, otherwise an unbounded kill fault would just shoot every
+        replacement on arrival.  More than ``max_respawns`` total
+        deaths raise instead.
+        """
+        for slot, proc in enumerate(self._procs):
+            if proc.is_alive() or proc.exitcode in (0, None):
+                continue
+            worker_id = self._worker_ids[slot]
+            exitcode = proc.exitcode
+            self.worker_deaths += 1
+            if self.worker_deaths > self.max_respawns:
+                raise RuntimeError(
+                    "prefetch worker %d died (exit code %s) and the "
+                    "respawn budget (%d) is spent"
+                    % (worker_id, exitcode, self.max_respawns))
+            survivable = [spec for spec in self._fault_plan
+                          if spec.get("mode") != "kill"]
+            replacement, ready = self._spawn(worker_id, at_step, survivable)
+            self._procs[slot] = replacement
+            self._await_ready(worker_id, replacement, ready)
+            self.worker_respawns += 1
+            self.respawn_events.append({"worker": worker_id,
+                                        "exit_code": int(exitcode),
+                                        "at_step": int(at_step)})
+
     # -- consumption --------------------------------------------------------
 
     def __iter__(self) -> Iterator[StepPayload]:
         """Payloads in step order, reordered from the workers' stream."""
         if self.num_workers == 0:
-            for step in range(self.total_steps):
+            for step in range(self.start_step, self.total_steps):
                 yield build_step_payload(self._state, step)
             return
         if not self._started:
             raise RuntimeError("PlanProducer not started; use it as a "
                                "context manager (or call start())")
         pending: Dict[int, StepPayload] = {}
-        for step in range(self.total_steps):
+        for step in range(self.start_step, self.total_steps):
             while step not in pending:
                 began = time.perf_counter()
                 try:
                     got_step, payload = self._queue.get(timeout=1.0)
                 except queue_lib.Empty:
                     self.wait_seconds += time.perf_counter() - began
+                    self._reap_and_respawn(step)
                     if not any(proc.is_alive() for proc in self._procs):
                         raise RuntimeError(
                             "all prefetch workers exited before step %d "

@@ -35,12 +35,16 @@ single-process loop remains the parity reference):
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import json
+import os
 import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.common import atomic_savez
 from repro.graph.metapath import MetaPathWalker
 from repro.graph.sampling import NegativeSampler, SampleBatch
 from repro.graph.schema import Relation
@@ -105,6 +109,12 @@ class TrainerConfig:
     prefetch_depth: int = 2
     accumulate_steps: int = 1
     backward_depth: int = 0
+    #: optimiser steps between resume checkpoints (0 disables).
+    #: Checkpointed runs consume the producer payload stream (inline
+    #: when ``prefetch_workers=0``) whose step payloads are pure
+    #: ``(seed, step)``, so a run resumed from a checkpoint produces
+    #: losses bit-identical to the uninterrupted run.
+    checkpoint_every: int = 0
 
 
 @dataclasses.dataclass
@@ -118,6 +128,13 @@ class TrainingReport:
     #: time the consumer spent blocked on the prefetch queue (0.0 on
     #: the synchronous path)
     prefetch_wait_seconds: float = 0.0
+    #: optimiser step this run resumed from (0 = fresh run)
+    resumed_from_step: int = 0
+    #: resume checkpoints written during this run
+    checkpoints_written: int = 0
+    #: prefetch workers that crashed / replacements spawned mid-run
+    worker_deaths: int = 0
+    worker_respawns: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -151,9 +168,11 @@ class Trainer:
 
     def __init__(self, model: AMCAD, config: Optional[TrainerConfig] = None,
                  walker: Optional[MetaPathWalker] = None,
-                 negative_sampler: Optional[NegativeSampler] = None):
+                 negative_sampler: Optional[NegativeSampler] = None,
+                 checkpoint_path=None):
         self.model = model
         self.config = config or TrainerConfig()
+        self.checkpoint_path = checkpoint_path
         cfg = self.config
         if cfg.data_plane not in DATA_PLANES:
             raise ValueError("data_plane must be one of %s, got %r"
@@ -198,6 +217,24 @@ class Trainer:
                 "every %d-th step); use plan_refresh > prefetch_workers"
                 % (cfg.plan_refresh, cfg.prefetch_workers,
                    cfg.prefetch_workers))
+        if cfg.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0, got %d"
+                             % cfg.checkpoint_every)
+        if cfg.checkpoint_every > 0 and cfg.data_plane != "batched":
+            raise ValueError(
+                "checkpoint_every > 0 resumes through the (seed, step)-pure "
+                "producer payload stream, which only the 'batched' data "
+                "plane provides; data_plane=%r cannot checkpoint"
+                % cfg.data_plane)
+        if (cfg.checkpoint_every > 0 and cfg.plan_refresh > 1
+                and (cfg.checkpoint_every * cfg.accumulate_steps)
+                % cfg.plan_refresh != 0):
+            raise ValueError(
+                "checkpoint_every=%d (x%d micro-steps) must land on a "
+                "plan_refresh=%d window boundary, or a resumed run would "
+                "rebuild plans from a different draw window"
+                % (cfg.checkpoint_every, cfg.accumulate_steps,
+                   cfg.plan_refresh))
         # drop any stale cache a previous trainer left on the encoder;
         # train() attaches a fresh one for the duration of the loop only
         model.encoder.draw_cache = None
@@ -213,6 +250,9 @@ class Trainer:
                                  warmup_steps=cfg.warmup_steps,
                                  clip_norm=cfg.clip_norm)
         self._pair_stream = self.walker.iter_pairs(self.rng)
+        #: losses across the whole trainer lifetime (survives resume —
+        #: restored from the checkpoint, appended to by every run)
+        self.loss_history: List[float] = []
         self._buffers: dict = {}
         # batched plane: per-relation (src, pos) array chunks, and how
         # many walks each refill round advances together
@@ -316,6 +356,96 @@ class Trainer:
         self._steps_done += 1
         return self._accumulate_micro(lambda: (self._next_batch(), None))
 
+    CHECKPOINT_FORMAT = 1
+
+    def _checkpoint_fingerprint(self) -> Dict[str, object]:
+        """The config subset a checkpoint must match to be resumable.
+
+        ``prefetch_workers`` / ``prefetch_depth`` are excluded on
+        purpose: producer payloads are pure ``(seed, step)``, so the
+        worker topology may change between the checkpointing run and
+        the resuming run without perturbing the loss trajectory.
+        """
+        fingerprint = dataclasses.asdict(self.config)
+        fingerprint.pop("prefetch_workers", None)
+        fingerprint.pop("prefetch_depth", None)
+        return fingerprint
+
+    def save_checkpoint(self, path=None) -> None:
+        """Atomically write a resume checkpoint (npz) to ``path``.
+
+        Captures everything ``restore_checkpoint`` needs for a
+        bit-identical continuation: parameter tensors, AdaGrad
+        accumulators and step count, the trainer's step counter and
+        loss history, and the consumer RNG's full bit-generator state.
+        The write goes through :func:`repro.common.atomic_savez`, so a
+        crash mid-write leaves the previous checkpoint intact.
+        """
+        path = path if path is not None else self.checkpoint_path
+        if path is None:
+            raise ValueError("no checkpoint path configured")
+        header = {
+            "format_version": self.CHECKPOINT_FORMAT,
+            "steps_done": self._steps_done,
+            "optimizer_step_count": self.optimizer.step_count,
+            "losses": [float(x) for x in self.loss_history],
+            "rng_state": self.rng.bit_generator.state,
+            "fingerprint": self._checkpoint_fingerprint(),
+        }
+        arrays = {"header": np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8)}
+        for i, param in enumerate(self.optimizer.parameters):
+            arrays["param_%06d" % i] = param.data
+        for i, accumulator in enumerate(self.optimizer._accumulators):
+            arrays["accum_%06d" % i] = accumulator
+        atomic_savez(path, arrays)
+
+    def restore_checkpoint(self, path=None) -> int:
+        """Load a checkpoint written by :meth:`save_checkpoint`.
+
+        Restores parameters, optimiser state, the step counter, the
+        loss history, and the RNG state in place, then returns the
+        optimiser step the checkpoint was taken at.  Raises
+        ``ValueError`` if the checkpoint's config fingerprint does not
+        match this trainer's (resuming under different hyper-parameters
+        would silently diverge from the uninterrupted run).
+        """
+        path = path if path is not None else self.checkpoint_path
+        if path is None:
+            raise ValueError("no checkpoint path configured")
+        with np.load(path, allow_pickle=False) as data:
+            header = json.loads(bytes(data["header"]).decode("utf-8"))
+            if header.get("format_version") != self.CHECKPOINT_FORMAT:
+                raise ValueError(
+                    "checkpoint %s has format_version %r, expected %d"
+                    % (path, header.get("format_version"),
+                       self.CHECKPOINT_FORMAT))
+            ours = self._checkpoint_fingerprint()
+            theirs = header.get("fingerprint")
+            if theirs != ours:
+                diff = sorted(k for k in set(ours) | set(dict(theirs or {}))
+                              if ours.get(k) != (theirs or {}).get(k))
+                raise ValueError(
+                    "checkpoint %s was written under a different config "
+                    "(mismatched: %s); resuming would diverge from the "
+                    "uninterrupted run" % (path, ", ".join(diff) or "?"))
+            params = self.optimizer.parameters
+            for i, param in enumerate(params):
+                stored = data["param_%06d" % i]
+                if stored.shape != param.data.shape:
+                    raise ValueError(
+                        "checkpoint %s parameter %d has shape %s, model "
+                        "expects %s" % (path, i, stored.shape,
+                                        param.data.shape))
+                param.data[...] = stored
+            for i, accumulator in enumerate(self.optimizer._accumulators):
+                accumulator[...] = data["accum_%06d" % i]
+        self.optimizer.step_count = int(header["optimizer_step_count"])
+        self._steps_done = int(header["steps_done"])
+        self.loss_history = [float(x) for x in header["losses"]]
+        self.rng.bit_generator.state = header["rng_state"]
+        return self._steps_done
+
     def train(self, steps: Optional[int] = None,
               log_every: int = 0) -> TrainingReport:
         """Run the loop; returns losses and wall-clock time.
@@ -329,7 +459,12 @@ class Trainer:
         """
         steps = steps if steps is not None else self.config.steps
         cfg = self.config
-        if cfg.prefetch_workers > 0:
+        if (cfg.prefetch_workers > 0 or cfg.checkpoint_every > 0
+                or self._steps_done > 0):
+            # checkpointed (and resumed) runs must consume the
+            # (seed, step)-pure producer payload stream — inline when
+            # prefetch_workers=0 — so micro-step i's payload is the
+            # same whether or not the run was interrupted
             return self._train_prefetched(steps, log_every)
         if cfg.plan_refresh > 1:
             self.model.encoder.draw_cache = NeighborDrawCache()
@@ -338,6 +473,7 @@ class Trainer:
         try:
             for step in range(steps):
                 losses.append(self.train_step())
+                self.loss_history.append(losses[-1])
                 if log_every and (step + 1) % log_every == 0:
                     print("step %4d  loss %.4f  |grad| %.3f" %
                           (step + 1, losses[-1],
@@ -368,7 +504,8 @@ class Trainer:
             num_workers=(cfg.prefetch_workers if num_workers is None
                          else num_workers),
             depth=cfg.prefetch_depth, plan_refresh=cfg.plan_refresh,
-            walks_per_round=self._walks_per_round)
+            walks_per_round=self._walks_per_round,
+            start_step=self._steps_done * cfg.accumulate_steps)
 
     def _train_prefetched(self, steps: int, log_every: int) -> TrainingReport:
         """The overlapped loop: consume producer payloads in step order.
@@ -383,7 +520,13 @@ class Trainer:
         reference, not a bit-equal one).
         """
         cfg = self.config
+        start_opt = self._steps_done
+        if start_opt >= steps:
+            return TrainingReport(
+                losses=[], wall_seconds=0.0, steps=0, samples_seen=0,
+                resumed_from_step=start_opt)
         losses: List[float] = []
+        checkpoints_written = 0
         producer = self.make_producer(steps)
         with producer:
             # workers have completed their ready handshake here, so the
@@ -396,15 +539,33 @@ class Trainer:
                 payload = next(stream)
                 return payload.batch, payload.plans
 
-            for step in range(steps):
+            for step in range(start_opt, steps):
                 self._steps_done += 1
-                losses.append(self._accumulate_micro(next_micro))
+                loss = self._accumulate_micro(next_micro)
+                losses.append(loss)
+                self.loss_history.append(loss)
                 if log_every and (step + 1) % log_every == 0:
                     print("step %4d  loss %.4f  |grad| %.3f" %
                           (step + 1, losses[-1],
                            self.optimizer.last_grad_norm))
+                if (cfg.checkpoint_every > 0
+                        and self.checkpoint_path is not None
+                        and self._steps_done % cfg.checkpoint_every == 0
+                        and self._steps_done < steps):
+                    self.save_checkpoint()
+                    checkpoints_written += 1
             elapsed = time.perf_counter() - start
+        if cfg.checkpoint_every > 0 and self.checkpoint_path is not None:
+            # a completed run leaves no checkpoint behind: rerunning the
+            # stage trains fresh instead of resuming past the end
+            with contextlib.suppress(FileNotFoundError):
+                os.remove(self.checkpoint_path)
         return TrainingReport(
-            losses=losses, wall_seconds=elapsed, steps=steps,
-            samples_seen=steps * cfg.batch_size * cfg.accumulate_steps,
-            prefetch_wait_seconds=producer.wait_seconds)
+            losses=losses, wall_seconds=elapsed, steps=steps - start_opt,
+            samples_seen=((steps - start_opt) * cfg.batch_size
+                          * cfg.accumulate_steps),
+            prefetch_wait_seconds=producer.wait_seconds,
+            resumed_from_step=start_opt,
+            checkpoints_written=checkpoints_written,
+            worker_deaths=producer.worker_deaths,
+            worker_respawns=producer.worker_respawns)

@@ -1,0 +1,363 @@
+"""Fault tolerance: degraded retrieval, chaos training, exact resume.
+
+Drives the failure paths the PR-8 lifecycle claims to survive:
+
+- a dead/hung index shard degrades the sharded search (healthy-shard
+  merge, correct order, flagged) instead of failing it;
+- serving-engine slice faults degrade to empty results, feed the
+  circuit breaker, and shed load at the admission layer;
+- a SIGKILLed prefetch worker is respawned and the loss trajectory is
+  bit-identical to an undisturbed run;
+- a worker that dies during the ready handshake fails fast with a
+  clear error instead of hanging the trainer;
+- a run killed mid-training resumes from its checkpoint with losses
+  bit-identical to the uninterrupted run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.schema import Relation
+from repro.models import make_model
+from repro.retrieval import IndexSet, ShardedBackend, TwoLayerRetriever
+from repro.retrieval.mnn import RelationSpace
+from repro.serving.admission import AdmissionController
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.engine import ServingEngine
+from repro.testing.faults import FaultSpec, install, install_plan, reset
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    reset()
+    yield
+    reset()
+
+
+def _space(num_sources=12, num_targets=800, dim=6, seed=3):
+    rng = np.random.default_rng(seed)
+    scale = 0.3
+    return RelationSpace(
+        relation=Relation.Q2A,
+        src_embeddings=[scale * rng.standard_normal((num_sources, dim)),
+                        scale * rng.standard_normal((num_sources, dim))],
+        dst_embeddings=[scale * rng.standard_normal((num_targets, dim)),
+                        scale * rng.standard_normal((num_targets, dim))],
+        src_weights=np.full((num_sources, 2), 0.5),
+        dst_weights=np.full((num_targets, 2), 0.5),
+        kappas=[-0.5, 0.4],
+    )
+
+
+@pytest.fixture(scope="module")
+def space():
+    return _space()
+
+
+def _healthy_reference(space, src_indices, k, excluded_ranges=()):
+    """Brute-force top-k over targets outside the excluded shard ranges."""
+    n = space.num_targets
+    ids, dists = [], []
+    for src in src_indices:
+        all_d = space.pair_distance(np.full(n, src), np.arange(n))
+        for lo, hi in excluded_ranges:
+            all_d[lo:hi] = np.inf
+        order = np.argsort(all_d, kind="stable")[:k]
+        ids.append(order)
+        dists.append(all_d[order])
+    return np.array(ids), np.array(dists)
+
+
+class TestDegradedShardedSearch:
+    SRC = np.array([0, 3, 7, 11])
+
+    def _backend(self, space, **kwargs):
+        kwargs.setdefault("num_shards", 4)
+        return ShardedBackend(**kwargs).build(space)
+
+    def test_dead_shard_merge_matches_healthy_exact(self, space):
+        backend = self._backend(space)
+        install(FaultSpec(site="shard.search", match={"shard": 2}))
+        ids, dists = backend.search(self.SRC, k=10)
+        dead = backend.shard_bounds[2]
+        ref_ids, ref_dists = _healthy_reference(space, self.SRC, k=10,
+                                                excluded_ranges=[dead])
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_allclose(dists, ref_dists)
+        # never empty, never out of order, dead shard fully excluded
+        assert np.all(np.diff(dists, axis=1) >= 0)
+        assert not np.any((ids >= dead[0]) & (ids < dead[1]))
+        assert backend.last_degraded
+        assert backend.last_failed_shards == [2]
+        assert backend.degraded_searches == 1
+        assert backend.shard_errors[2] >= 1
+
+    def test_healthy_search_flags_nothing(self, space):
+        backend = self._backend(space)
+        ids, dists = backend.search(self.SRC, k=10)
+        ref_ids, ref_dists = _healthy_reference(space, self.SRC, k=10)
+        np.testing.assert_array_equal(ids, ref_ids)
+        assert not backend.last_degraded
+        assert backend.degraded_searches == 0
+
+    def test_transient_fault_recovered_by_retry(self, space):
+        backend = self._backend(space, shard_retries=1)
+        install(FaultSpec(site="shard.search", match={"shard": 1},
+                          max_fires=1))
+        ids, dists = backend.search(self.SRC, k=10)
+        ref_ids, _ = _healthy_reference(space, self.SRC, k=10)
+        np.testing.assert_array_equal(ids, ref_ids)
+        assert not backend.last_degraded
+        assert backend.shard_errors[1] == 1  # the fault did fire
+
+    def test_hung_shard_counts_as_timeout(self, space):
+        backend = self._backend(space)
+        install(FaultSpec(site="shard.search", mode="hang", delay=0.0,
+                          match={"shard": 0}))
+        backend.search(self.SRC, k=10)
+        assert backend.last_degraded
+        assert backend.shard_timeouts[0] >= 1
+
+    def test_all_shards_dead_raises(self, space):
+        backend = self._backend(space)
+        install(FaultSpec(site="shard.search"))
+        with pytest.raises(RuntimeError, match="all"):
+            backend.search(self.SRC, k=10)
+
+    def test_outcome_callback_feeds_observer(self, space):
+        backend = self._backend(space)
+        outcomes = []
+        backend.on_shard_outcome = lambda shard, ok: outcomes.append(
+            (shard, ok))
+        install(FaultSpec(site="shard.search", match={"shard": 3}))
+        backend.search(self.SRC, k=10)
+        assert (3, False) in outcomes
+        assert sum(1 for _, ok in outcomes if ok) == 3
+        health = backend.health()
+        assert health["degraded_searches"] == 1
+        assert health["last_failed_shards"] == [3]
+
+
+class TestCircuitBreaker:
+    def test_trips_at_threshold_and_sheds(self):
+        breaker = CircuitBreaker(window=8, threshold=0.5, probe_every=4,
+                                 min_samples=4)
+        for _ in range(4):
+            breaker.record(False)
+        assert breaker.is_open
+        allowed = [breaker.allow() for _ in range(8)]
+        assert allowed.count(True) == 2  # every 4th call probes
+        assert breaker.summary()["trips"] == 1
+
+    def test_successful_probe_closes(self):
+        breaker = CircuitBreaker(window=8, threshold=0.5, probe_every=2,
+                                 min_samples=4)
+        for _ in range(4):
+            breaker.record(False)
+        assert breaker.is_open
+        breaker.record(True)  # the probe came back healthy
+        assert not breaker.is_open
+        assert all(breaker.allow() for _ in range(8))
+
+    def test_opens_on_high_rate_stays_closed_on_low(self):
+        hot = CircuitBreaker(window=16, threshold=0.5, min_samples=8)
+        for i in range(32):
+            hot.record(i % 4 == 0)  # 75% error rate
+        assert hot.is_open
+        cool = CircuitBreaker(window=16, threshold=0.5, min_samples=8)
+        for i in range(32):
+            cool.record(i % 4 != 0)  # 25% error rate
+        assert not cool.is_open
+
+
+@pytest.fixture(scope="module")
+def served_model(train_graph):
+    model = make_model("amcad", train_graph, num_subspaces=2, subspace_dim=4,
+                       seed=9)
+    Trainer(model, TrainerConfig(steps=15, batch_size=32, seed=9)).train()
+    return model
+
+
+@pytest.fixture(scope="module")
+def retriever(served_model):
+    index_set = IndexSet(served_model, top_k=10).build()
+    return TwoLayerRetriever(index_set, expansion_k=5, ads_per_key=5)
+
+
+class TestEngineDegradation:
+    QUERIES = list(range(16))
+    PRECLICKS = [[] for _ in range(16)]
+
+    def test_slice_fault_degrades_only_its_requests(self, retriever):
+        healthy = ServingEngine(retriever, max_batch_size=16, num_shards=4)
+        expected = healthy.serve(self.QUERIES, self.PRECLICKS, k=5)
+
+        engine = ServingEngine(retriever, max_batch_size=16, num_shards=4)
+        install(FaultSpec(site="engine.slice", match={"slice": 1}))
+        results = engine.serve(self.QUERIES, self.PRECLICKS, k=5)
+        assert engine.stats.degraded
+        assert engine.stats.degraded_requests == 4
+        assert engine.stats.degraded_batches == 1
+        for i, (got, want) in enumerate(zip(results, expected)):
+            if 4 <= i < 8:  # slice 1 of 4 over 16 requests
+                assert got.ads.size == 0
+            else:
+                np.testing.assert_array_equal(got.ads, want.ads)
+
+    def test_slice_retry_recovers(self, retriever):
+        healthy = ServingEngine(retriever, max_batch_size=16, num_shards=4)
+        expected = healthy.serve(self.QUERIES, self.PRECLICKS, k=5)
+        engine = ServingEngine(retriever, max_batch_size=16, num_shards=4,
+                               slice_retries=1)
+        install(FaultSpec(site="engine.slice", match={"slice": 1},
+                          max_fires=1))
+        results = engine.serve(self.QUERIES, self.PRECLICKS, k=5)
+        assert not engine.stats.degraded
+        assert engine.stats.slice_errors == 1
+        for got, want in zip(results, expected):
+            np.testing.assert_array_equal(got.ads, want.ads)
+
+    def test_breaker_trips_and_admission_sheds(self, retriever):
+        breaker = CircuitBreaker(window=8, threshold=0.5, probe_every=64,
+                                 min_samples=4)
+        engine = ServingEngine(retriever, max_batch_size=4, num_shards=1,
+                               breaker=breaker)
+        controller = AdmissionController(engine, max_queue=64,
+                                         deadline_ms=1e9, max_batch=4)
+        install(FaultSpec(site="engine.slice"))
+        arrival = 0.0
+        for i in range(32):
+            arrival += 0.001
+            controller.offer(arrival, i % 16, [])
+        controller.drain()
+        assert breaker.is_open
+        assert controller.stats.shed_breaker > 0
+        assert engine.stats.degraded
+
+    def test_hot_swap_preserves_in_flight_results(self, retriever):
+        """A swap between batches changes the pointer, not past answers."""
+        engine = ServingEngine(retriever, max_batch_size=8, num_shards=2)
+        before = engine.serve(self.QUERIES[:8], self.PRECLICKS[:8], k=5)
+        engine.swap_retriever(retriever, generation=5)
+        assert engine.generation == 5
+        assert engine.stats.swaps == 1
+        after = engine.serve(self.QUERIES[:8], self.PRECLICKS[:8], k=5)
+        for got, want in zip(after, before):
+            np.testing.assert_array_equal(got.ads, want.ads)
+        # the cache was cleared on swap: the second pass re-missed
+        assert engine.stats.cache_misses >= 16
+
+
+class TestWorkerChaos:
+    @staticmethod
+    def _trainer(graph, workers, checkpoint_every=0):
+        model = make_model("amcad", graph, num_subspaces=2, subspace_dim=4,
+                           seed=2)
+        config = TrainerConfig(steps=6, batch_size=16, seed=2,
+                               prefetch_workers=workers,
+                               checkpoint_every=checkpoint_every)
+        return Trainer(model, config)
+
+    def test_killed_worker_respawns_and_losses_unchanged(self, train_graph):
+        # reference: the producer-driven loop, inline (payloads are
+        # (seed, step)-pure, so worker topology cannot matter)
+        reference = self._trainer(train_graph, workers=0,
+                                  checkpoint_every=5).train()
+        assert reference.worker_deaths == 0
+
+        install_plan([FaultSpec(site="prefetch.worker", mode="kill",
+                                match={"worker": 0}, after=1, max_fires=1)])
+        chaotic = self._trainer(train_graph, workers=2).train()
+        assert chaotic.worker_deaths == 1
+        assert chaotic.worker_respawns == 1
+        assert chaotic.losses == reference.losses
+
+    def test_handshake_death_fails_fast_with_clear_error(self, train_graph):
+        install_plan([FaultSpec(site="prefetch.worker.start", mode="kill",
+                                match={"worker": 0})])
+        trainer = self._trainer(train_graph, workers=1)
+        producer = trainer.make_producer()
+        with pytest.raises(RuntimeError, match="ready handshake"):
+            with producer:
+                pass
+
+    def test_respawn_budget_is_finite(self, train_graph):
+        install_plan([FaultSpec(site="prefetch.worker", mode="kill")])
+        trainer = self._trainer(train_graph, workers=1)
+        producer = trainer.make_producer()
+        producer.max_respawns = 0
+        with pytest.raises(RuntimeError, match="respawn budget"):
+            with producer:
+                list(producer)
+
+
+class TestCheckpointResume:
+    @staticmethod
+    def _trainer(graph, checkpoint_path=None, **overrides):
+        model = make_model("amcad", graph, num_subspaces=2, subspace_dim=4,
+                           seed=4)
+        params = dict(steps=8, batch_size=16, seed=4, checkpoint_every=3)
+        params.update(overrides)
+        return Trainer(model, TrainerConfig(**params),
+                       checkpoint_path=checkpoint_path)
+
+    def _crash_at(self, trainer, step):
+        original = trainer._accumulate_micro
+        calls = [0]
+
+        def crashy(next_micro):
+            if calls[0] == step:
+                raise RuntimeError("simulated crash")
+            calls[0] += 1
+            return original(next_micro)
+
+        trainer._accumulate_micro = crashy
+
+    def test_resume_is_bit_identical(self, train_graph, tmp_path):
+        ckpt = tmp_path / "checkpoint.npz"
+        reference = self._trainer(train_graph, tmp_path / "ref.npz").train()
+        assert not (tmp_path / "ref.npz").exists()  # deleted on completion
+        assert reference.checkpoints_written == 2
+
+        crashed = self._trainer(train_graph, ckpt)
+        self._crash_at(crashed, step=5)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            crashed.train()
+        assert ckpt.exists()  # checkpoint from step 3 survived the crash
+
+        resumed = self._trainer(train_graph, ckpt)
+        at = resumed.restore_checkpoint()
+        assert at == 3
+        report = resumed.train()
+        assert report.resumed_from_step == 3
+        assert report.steps == 5
+        assert report.losses == reference.losses[3:]
+        assert resumed.loss_history == reference.losses
+        assert not ckpt.exists()
+
+    def test_fingerprint_mismatch_rejected(self, train_graph, tmp_path):
+        ckpt = tmp_path / "checkpoint.npz"
+        trainer = self._trainer(train_graph, ckpt)
+        trainer.train(steps=2)
+        trainer.save_checkpoint()
+        other = self._trainer(train_graph, ckpt, seed=5)
+        with pytest.raises(ValueError, match="different config"):
+            other.restore_checkpoint()
+
+    def test_topology_excluded_from_fingerprint(self, train_graph, tmp_path):
+        ckpt = tmp_path / "checkpoint.npz"
+        trainer = self._trainer(train_graph, ckpt)
+        trainer.train(steps=2)
+        trainer.save_checkpoint()
+        # more workers is a deployment decision, not a training change
+        resumed = self._trainer(train_graph, ckpt, prefetch_workers=2)
+        assert resumed.restore_checkpoint() == 2
+
+    def test_checkpoint_requires_batched_plane(self, train_graph):
+        with pytest.raises(ValueError, match="batched"):
+            self._trainer(train_graph, data_plane="looped")
+
+    def test_checkpoint_must_align_with_plan_refresh(self, train_graph):
+        with pytest.raises(ValueError, match="plan_refresh"):
+            self._trainer(train_graph, checkpoint_every=3, plan_refresh=2)
