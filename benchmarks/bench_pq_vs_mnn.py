@@ -16,8 +16,13 @@ brute force with two-level parallelism).  This bench quantifies that:
 
 Both searches run through the same pluggable
 :class:`~repro.retrieval.backend.SearchBackend` interface that
-``IndexSet`` builds indices with.
+``IndexSet`` builds indices with, and both ground truths come from
+the shared :func:`common.exact_ground_truth` /
+:func:`common.euclidean_view` helpers — one streamed exact pass per
+ranking, no materialised ``(Q, N)`` distance matrix.
 """
+
+import sys
 
 import numpy as np
 import pytest
@@ -29,6 +34,9 @@ from repro.retrieval import make_backend
 from repro.retrieval.mnn import RelationSpace
 from repro.retrieval.quantization import recall_at_k
 from repro.training import Trainer, TrainerConfig
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from common import euclidean_view, exact_ground_truth  # noqa: E402
 
 
 def test_pq_cannot_serve_mixed_metric(benchmark, bench_data):
@@ -43,24 +51,23 @@ def test_pq_cannot_serve_mixed_metric(benchmark, bench_data):
         queries = rng.choice(space.num_sources, size=80, replace=False)
         k = 10
 
-        # ground truth under the learned mixed-curvature metric
-        exact = make_backend("exact").build(space)
-        exact_ids, __ = exact.search(queries, k=k)
+        # ground truth under the learned mixed-curvature metric —
+        # the one shared exact computation for this run
+        exact_ids, __ = exact_ground_truth(space, queries, k)
 
         # PQ over concatenated embeddings (all a traditional ANN sees)
         pq = make_backend("pq", num_blocks=4, codebook_size=32,
                           seed=0).build(space)
         pq_ids, __ = pq.search(queries, k=k)
         pq_recall = recall_at_k(pq_ids, exact_ids, k)
-        db = np.concatenate(space.dst_embeddings, axis=1)
-        qv = np.concatenate([e[queries] for e in space.src_embeddings],
-                            axis=1)
 
         # decomposition: how much is lost to the metric mismatch alone
         # (exact Euclidean search vs the true metric), and how much PQ
-        # tracks its own Euclidean objective (its home turf)
-        d2 = ((qv[:, None, :] - db[None, :, :]) ** 2).sum(-1)
-        flat_ids = np.argsort(d2, axis=1)[:, :k]
+        # tracks its own Euclidean objective (its home turf).  The
+        # Euclidean control ranking reuses the same streamed exact
+        # backend over a flat κ=0 view instead of a dense (Q, N)
+        # distance matrix.
+        flat_ids, __ = exact_ground_truth(euclidean_view(space), queries, k)
         mismatch_recall = recall_at_k(flat_ids, exact_ids, k)
         control_recall = recall_at_k(pq_ids, flat_ids, k)
 

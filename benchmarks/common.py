@@ -20,7 +20,44 @@ import argparse
 import json
 import pathlib
 
+import numpy as np
+
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def exact_ground_truth(space, queries, k, num_workers: int = 1):
+    """Top-``k`` ``(ids, dists)`` under the true mixed-curvature metric.
+
+    One shared ground-truth path for every bench that compares an
+    approximate search against the exact MNN result: the streamed
+    :class:`~repro.retrieval.backend.ExactBackend`, never a
+    materialised full distance matrix.  Compute it once per
+    ``(space, queries)`` and pass the ids around.
+    """
+    from repro.retrieval import make_backend
+    backend = make_backend("exact", num_workers=num_workers).build(space)
+    return backend.search(np.asarray(queries, dtype=np.int64), k)
+
+
+def euclidean_view(space):
+    """A flat-Euclidean :class:`RelationSpace` over the same points.
+
+    Concatenates the per-subspace embeddings into one κ=0 subspace with
+    constant attention weights, so the mixed metric reduces to
+    ``2·||x − y||`` — rank-equivalent to plain Euclidean search.  Lets
+    a bench compute a Euclidean control ranking through the exact same
+    streamed backend as the true-metric ground truth, instead of a
+    second, memory-heavy ``(Q, N)`` distance matrix.
+    """
+    from repro.retrieval.mnn import RelationSpace
+    src = np.concatenate(space.src_embeddings, axis=1)
+    dst = np.concatenate(space.dst_embeddings, axis=1)
+    return RelationSpace(
+        relation=space.relation,
+        src_embeddings=[src], dst_embeddings=[dst],
+        src_weights=np.full((src.shape[0], 1), 0.5),
+        dst_weights=np.full((dst.shape[0], 1), 0.5),
+        kappas=[0.0])
 
 
 def bench_parser(name: str, description: str) -> argparse.ArgumentParser:

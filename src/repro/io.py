@@ -101,6 +101,9 @@ def save_index_set(index_set: IndexSet, path: PathLike) -> pathlib.Path:
     backend_name = getattr(index_set, "backend_name", None)
     if backend_name is not None:
         header["backend"] = backend_name
+    backend_params = getattr(index_set, "backend_params", None)
+    if backend_params:
+        header["backend_params"] = backend_params
     shard_bounds = {
         relation.value: [[int(a), int(b)] for a, b in bounds]
         for relation, bounds in getattr(index_set, "shard_bounds",
@@ -117,16 +120,19 @@ class StoredIndexSet:
 
     Provides the mapping interface the two-layer retriever uses
     (``__getitem__`` / ``__contains__``) without needing the model,
-    plus the shard metadata recorded at save time (``backend``,
+    plus the backend metadata recorded at save time (``backend``,
+    ``backend_params`` — ANN dials, shard layout — and
     ``shard_bounds``).
     """
 
     def __init__(self, indices: Dict[Relation, InvertedIndex],
                  backend: str = None,
-                 shard_bounds: Dict[Relation, list] = None):
+                 shard_bounds: Dict[Relation, list] = None,
+                 backend_params: Dict[str, object] = None):
         self.indices = indices
         self.backend = backend
         self.shard_bounds = dict(shard_bounds or {})
+        self.backend_params = dict(backend_params or {})
 
     def __getitem__(self, relation: Relation) -> InvertedIndex:
         return self.indices[relation]
@@ -155,4 +161,5 @@ def load_index_set(path: PathLike) -> StoredIndexSet:
                     for key, bounds in header.get("shard_bounds",
                                                   {}).items()}
     return StoredIndexSet(indices, backend=header.get("backend"),
-                          shard_bounds=shard_bounds)
+                          shard_bounds=shard_bounds,
+                          backend_params=header.get("backend_params"))

@@ -232,7 +232,8 @@ class IndexConfig:
     #: target-space shards per index (``backend="sharded"`` only; also
     #: the serving engine's micro-batch fan-out width)
     num_shards: int = 2
-    #: backend each shard delegates to (``"exact"`` or ``"pq"``)
+    #: backend each shard delegates to (``"exact"``, ``"pq"``,
+    #: ``"ivf"``, ``"nsw"``)
     inner_backend: str = "exact"
     #: thread-pool width for shard builds/searches and for the serving
     #: engine's shard fan-out (1 = sequential)
@@ -244,6 +245,15 @@ class IndexConfig:
     shard_retries: int = 0
     #: base backoff between shard retry rounds in ms (doubles per round)
     shard_backoff_ms: float = 0.0
+    #: IVF inverted lists (``backend="ivf"``; 0 = sqrt(catalog) heuristic)
+    num_lists: int = 0
+    #: IVF lists scanned per query — the IVF recall/latency dial
+    nprobe: int = 16
+    #: NSW beam width per query — the graph recall/latency dial
+    ef_search: int = 48
+    #: candidates re-ranked with the true manifold metric after the
+    #: tangent-space prune (ANN backends; 0 = re-rank every candidate)
+    rerank_k: int = 0
 
     def __post_init__(self):
         if self.top_k < 1:
@@ -273,6 +283,18 @@ class IndexConfig:
         if self.shard_backoff_ms < 0:
             raise ValueError("index.shard_backoff_ms must be >= 0, got %r"
                              % self.shard_backoff_ms)
+        if self.num_lists < 0:
+            raise ValueError("index.num_lists must be >= 0 (0 = sqrt "
+                             "heuristic), got %d" % self.num_lists)
+        if self.nprobe < 1:
+            raise ValueError("index.nprobe must be >= 1, got %d"
+                             % self.nprobe)
+        if self.ef_search < 1:
+            raise ValueError("index.ef_search must be >= 1, got %d"
+                             % self.ef_search)
+        if self.rerank_k < 0:
+            raise ValueError("index.rerank_k must be >= 0 (0 = re-rank "
+                             "every candidate), got %d" % self.rerank_k)
         if self.relations is not None:
             valid = {r.value for r in Relation}
             unknown = sorted(set(self.relations) - valid)
@@ -286,18 +308,37 @@ class IndexConfig:
             return None
         return [Relation(value) for value in self.relations]
 
+    def _ann_dial_kwargs(self, backend: str) -> Dict[str, Any]:
+        """The recall/latency dial kwargs a given ANN backend takes."""
+        if backend == "ivf":
+            return {"num_lists": self.num_lists, "nprobe": self.nprobe,
+                    "rerank_k": self.rerank_k}
+        if backend == "nsw":
+            return {"ef_search": self.ef_search, "rerank_k": self.rerank_k}
+        return {}
+
     def resolved_backend_kwargs(self) -> Dict[str, Any]:
         """Constructor kwargs for the configured backend.
 
-        For ``backend="sharded"`` the shard keys are folded in
-        (explicit ``backend_kwargs`` entries win, so power users can
+        For ``backend="sharded"`` the shard keys are folded in; for the
+        ANN backends (``"ivf"``/``"nsw"``, directly or as the inner
+        backend of a sharded index) the recall/latency dials are folded
+        in (explicit ``backend_kwargs`` entries win, so power users can
         still set e.g. ``inner_kwargs`` or override the shard count).
         """
         kwargs = dict(self.backend_kwargs)
+        for key, value in self._ann_dial_kwargs(self.backend).items():
+            kwargs.setdefault(key, value)
         if self.backend == "sharded":
             kwargs.setdefault("num_shards", self.num_shards)
             kwargs.setdefault("inner_backend", self.inner_backend)
             kwargs.setdefault("parallelism", self.shard_parallelism)
+            inner_dials = self._ann_dial_kwargs(self.inner_backend)
+            if inner_dials:
+                inner_kwargs = dict(kwargs.get("inner_kwargs") or {})
+                for key, value in inner_dials.items():
+                    inner_kwargs.setdefault(key, value)
+                kwargs["inner_kwargs"] = inner_kwargs
             if self.shard_timeout_ms > 0:
                 kwargs.setdefault("shard_timeout",
                                   self.shard_timeout_ms / 1000.0)

@@ -273,6 +273,15 @@ class IndexStage(Stage):
             info["shard_parallelism"] = cfg.shard_parallelism
             info["summary"] += " [%d shards x %s]" % (cfg.num_shards,
                                                       cfg.inner_backend)
+        ann = cfg.backend if cfg.backend in ("ivf", "nsw") else (
+            cfg.inner_backend if cfg.backend == "sharded"
+            and cfg.inner_backend in ("ivf", "nsw") else None)
+        if ann is not None:
+            dials = cfg._ann_dial_kwargs(ann)
+            info.update(dials)
+            info["summary"] += " [%s]" % ", ".join(
+                "%s=%s" % (k, v) for k, v in sorted(dials.items()))
+        info["backend_params"] = ctx.index_set.backend_params
         return info
 
     @staticmethod

@@ -30,6 +30,35 @@ LAYER_ONE = (Relation.Q2Q, Relation.Q2I, Relation.I2Q, Relation.I2I)
 LAYER_TWO = (Relation.Q2A, Relation.I2A)
 
 
+def _json_clean(value):
+    """Recursively keep only the JSON-serialisable parts of ``value``.
+
+    Backend kwargs may contain non-serialisable entries (e.g. a class
+    or factory passed as ``inner_backend``); those are dropped rather
+    than failing the whole save.
+    """
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            cleaned = _json_clean(item)
+            if cleaned is not _DROP:
+                out[str(key)] = cleaned
+        return out
+    if isinstance(value, (list, tuple)):
+        return [item for item in (_json_clean(v) for v in value)
+                if item is not _DROP]
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return _DROP
+
+
+_DROP = object()
+
+
 @dataclasses.dataclass
 class InvertedIndex:
     """key node id -> (top-K result ids, distances)."""
@@ -108,6 +137,11 @@ class IndexSet:
         self.backend_name: Optional[str] = (backend
                                             if isinstance(backend, str)
                                             else None)
+        #: JSON-serialisable constructor arguments of the backend (ANN
+        #: dials like ``nprobe``/``ef_search``, shard layout, inner
+        #: backend spec) — persisted by :meth:`save` so a reloaded set
+        #: knows the dial it was built at
+        self.backend_params: Dict[str, object] = _json_clean(kwargs)
         self.indices: Dict[Relation, InvertedIndex] = {}
         self.spaces: Dict[Relation, RelationSpace] = {}
         self.backends: Dict[Relation, SearchBackend] = {}
@@ -182,8 +216,10 @@ class IndexSet:
         """
         from repro.io import load_index_set  # local: io imports this module
         stored = load_index_set(path)
-        index_set = cls(model=None, backend=stored.backend or "exact")
+        index_set = cls(model=None, backend=stored.backend or "exact",
+                        backend_kwargs=stored.backend_params)
         index_set.backend_name = stored.backend
+        index_set.backend_params = dict(stored.backend_params)
         index_set.indices = dict(stored.indices)
         index_set.shard_bounds = dict(stored.shard_bounds)
         if index_set.indices:

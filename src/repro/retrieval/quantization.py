@@ -23,6 +23,36 @@ from typing import Optional, Tuple
 import numpy as np
 
 
+#: float64 elements allowed in one ``(rows, k, dim)`` assignment block —
+#: bounds the peak memory of :func:`assign_to_centroids` at ~32 MB
+_ASSIGN_BLOCK_ELEMENTS = 2 ** 22
+
+
+def assign_to_centroids(data: np.ndarray, centroids: np.ndarray,
+                        block_rows: Optional[int] = None) -> np.ndarray:
+    """Nearest-centroid assignment without the full ``(n, k, dim)`` tensor.
+
+    The naive broadcast ``((data[:, None, :] - centroids) ** 2).sum(-1)``
+    materialises ``n * k * dim`` floats at once — a memory blowup when a
+    coarse quantiser trains over a scaled-up catalog.  This computes the
+    same squared-Euclidean ``argmin`` one block of rows at a time, so
+    peak memory is bounded by ``block_rows * k * dim`` regardless of
+    ``n``.  Each row's distance vector is produced by the exact same
+    elementwise expression, so assignments are bit-identical to the
+    unblocked version.
+    """
+    n = data.shape[0]
+    k, dim = centroids.shape
+    if block_rows is None:
+        block_rows = max(1, _ASSIGN_BLOCK_ELEMENTS // max(k * dim, 1))
+    assign = np.empty(n, dtype=np.int64)
+    for start in range(0, n, block_rows):
+        chunk = data[start:start + block_rows]
+        d2 = ((chunk[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=-1)
+        assign[start:start + block_rows] = np.argmin(d2, axis=1)
+    return assign
+
+
 def _kmeans(rng: np.random.Generator, data: np.ndarray, k: int,
             iterations: int = 12) -> np.ndarray:
     """Lightweight Lloyd's k-means returning ``(k, dim)`` centroids."""
@@ -31,9 +61,10 @@ def _kmeans(rng: np.random.Generator, data: np.ndarray, k: int,
     picks = rng.choice(n, size=k, replace=False)
     centroids = data[picks].copy()
     for _ in range(iterations):
-        # assignment by squared Euclidean distance
-        d2 = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=-1)
-        assign = np.argmin(d2, axis=1)
+        # blocked assignment by squared Euclidean distance: memory stays
+        # bounded at scaled catalogs (IVF coarse training), assignments
+        # bit-identical to the full-broadcast version
+        assign = assign_to_centroids(data, centroids)
         for j in range(k):
             members = data[assign == j]
             if members.shape[0]:
@@ -83,8 +114,7 @@ class PQIndex:
             block = vectors[:, b * self._block_dim:(b + 1) * self._block_dim]
             centroids = _kmeans(rng, block, self.codebook_size)
             codebooks.append(centroids)
-            d2 = ((block[:, None, :] - centroids[None, :, :]) ** 2).sum(-1)
-            codes[:, b] = np.argmin(d2, axis=1)
+            codes[:, b] = assign_to_centroids(block, centroids)
         # pad codebooks to a common size for stacking
         k_max = max(c.shape[0] for c in codebooks)
         stacked = np.full((self.num_blocks, k_max, self._block_dim), np.inf)

@@ -1,0 +1,347 @@
+"""Tests for the tangent-prune ANN backends (IVF and NSW).
+
+Covers the contract every registered backend owes (`SearchBackend`
+shapes, sorted metric-true distances, self-exclusion), the exactness
+escape hatch (IVF at the full-coverage dial delegates to the MNN
+searcher and is bit-identical to ExactBackend), composition with
+ShardedBackend including degraded search under injected shard faults,
+and IndexSet build/persist round-trips that carry the backend dials.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.schema import Relation
+from repro.retrieval import (
+    BACKENDS,
+    ExactBackend,
+    IndexSet,
+    IVFBackend,
+    NSWBackend,
+    make_backend,
+)
+from repro.retrieval.ann import candidate_dist, tangent_projection
+from repro.retrieval.mnn import RelationSpace
+from repro.retrieval.quantization import recall_at_k
+from repro.testing.faults import FaultSpec, install, reset
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    reset()
+    yield
+    reset()
+
+
+def _space(num_sources=16, num_targets=900, dim=6, seed=0, same_type=False):
+    rng = np.random.default_rng(seed)
+    scale = 0.3
+    relation = Relation.Q2Q if same_type else Relation.Q2A
+    num_targets = num_sources if same_type else num_targets
+    return RelationSpace(
+        relation=relation,
+        src_embeddings=[scale * rng.standard_normal((num_sources, dim)),
+                        scale * rng.standard_normal((num_sources, dim))],
+        dst_embeddings=[scale * rng.standard_normal((num_targets, dim)),
+                        scale * rng.standard_normal((num_targets, dim))],
+        src_weights=rng.uniform(0.4, 0.6, size=(num_sources, 2)),
+        dst_weights=rng.uniform(0.4, 0.6, size=(num_targets, 2)),
+        kappas=[-0.5, 0.4],
+    )
+
+
+@pytest.fixture(scope="module")
+def space():
+    return _space()
+
+
+@pytest.fixture(scope="module")
+def same_type_space():
+    rng_space = _space(num_sources=60, same_type=True)
+    # same node set on both sides so exclude_self is meaningful
+    return RelationSpace(
+        relation=Relation.Q2Q,
+        src_embeddings=rng_space.src_embeddings,
+        dst_embeddings=rng_space.src_embeddings,
+        src_weights=rng_space.src_weights,
+        dst_weights=rng_space.src_weights,
+        kappas=rng_space.kappas,
+    )
+
+
+SRC = np.array([0, 2, 5, 11, 15])
+
+
+def _assert_contract(ids, dists, k, num_targets):
+    """Shape, dtype, id-range, uniqueness, and ascending distances."""
+    assert ids.shape == dists.shape == (SRC.size, k)
+    assert ids.dtype == np.int64
+    assert ids.min() >= 0 and ids.max() < num_targets
+    for row in ids:
+        assert np.unique(row).size == row.size
+    assert np.all(np.diff(dists, axis=1) >= -1e-12)
+    assert np.all(np.isfinite(dists))
+
+
+class TestTangentProjection:
+    def test_concatenates_per_subspace_logmaps(self, space):
+        flat = tangent_projection(space.dst_embeddings, space.kappas)
+        assert flat.shape == (space.num_targets,
+                              sum(e.shape[1] for e in space.dst_embeddings))
+        # kappa=0 subspaces are already flat: logmap0 is the identity
+        euclid = tangent_projection(space.dst_embeddings, [0.0, 0.0])
+        assert np.allclose(euclid,
+                           np.concatenate(space.dst_embeddings, axis=1))
+
+    def test_candidate_dist_matches_pair_distance(self, space):
+        cand = np.array([[3, 7, 100], [0, 1, 2]])
+        valid = np.array([[True, True, False], [True, True, True]])
+        got = candidate_dist(space, np.array([0, 4]), cand, valid)
+        assert np.isinf(got[0, 2])
+        for b, src in enumerate((0, 4)):
+            for j in range(3):
+                if not valid[b, j]:
+                    continue
+                ref = space.pair_distance(np.array([src]),
+                                          np.array([cand[b, j]]))[0]
+                assert got[b, j] == pytest.approx(ref, rel=1e-10)
+
+
+class TestIVFBackend:
+    def test_contract_and_recall(self, space):
+        backend = IVFBackend(num_lists=16, nprobe=8,
+                             rerank_k=200).build(space)
+        ids, dists = backend.search(SRC, k=10)
+        _assert_contract(ids, dists, 10, space.num_targets)
+        exact_ids, __ = ExactBackend().build(space).search(SRC, k=10)
+        assert recall_at_k(ids, exact_ids, 10) >= 0.8
+
+    def test_full_probe_bit_identical_to_exact(self, space):
+        """nprobe >= num_lists with uncapped re-rank IS exact search."""
+        backend = IVFBackend(num_lists=8, nprobe=8).build(space)
+        assert backend.is_exact_dial
+        exact = ExactBackend().build(space)
+        ids_a, dists_a = backend.search(SRC, k=12)
+        ids_b, dists_b = exact.search(SRC, k=12)
+        assert np.array_equal(ids_a, ids_b)
+        assert np.array_equal(dists_a, dists_b)
+
+    def test_nprobe_expands_until_k_candidates(self, space):
+        """A starved nprobe still returns a full, finite top-k."""
+        backend = IVFBackend(num_lists=64, nprobe=1).build(space)
+        ids, dists = backend.search(SRC, k=50)
+        _assert_contract(ids, dists, 50, space.num_targets)
+
+    def test_exclude_self(self, same_type_space):
+        backend = IVFBackend(num_lists=8, nprobe=8).build(same_type_space)
+        src = np.arange(20)
+        ids, __ = backend.search(src, k=5, exclude_self=True)
+        assert not np.any(ids == src[:, None])
+
+    def test_more_probes_never_lower_recall_much(self, space):
+        exact_ids, __ = ExactBackend().build(space).search(SRC, k=10)
+        backend = IVFBackend(num_lists=32, nprobe=1).build(space)
+        recalls = []
+        for nprobe in (1, 4, 16, 32):
+            backend.nprobe = nprobe
+            ids, __ = backend.search(SRC, k=10)
+            recalls.append(recall_at_k(ids, exact_ids, 10))
+        assert recalls[-1] == 1.0
+        assert recalls[0] <= recalls[-1]
+
+    def test_tangent_only_mode(self, space):
+        """manifold_rerank=False ranks by tangent distance only."""
+        backend = IVFBackend(num_lists=8, nprobe=8,
+                             manifold_rerank=False).build(space)
+        assert not backend.is_exact_dial
+        ids, dists = backend.search(SRC, k=10)
+        _assert_contract(ids, dists, 10, space.num_targets)
+
+    def test_sqrt_heuristic_list_count(self, space):
+        backend = IVFBackend().build(space)
+        assert backend.resolved_lists == int(round(np.sqrt(
+            space.num_targets)))
+
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(ValueError, match="num_lists"):
+            IVFBackend(num_lists=-1)
+        with pytest.raises(ValueError, match="nprobe"):
+            IVFBackend(nprobe=0)
+        with pytest.raises(ValueError, match="rerank_k"):
+            IVFBackend(rerank_k=-2)
+        with pytest.raises(ValueError, match="kmeans_iters"):
+            IVFBackend(kmeans_iters=0)
+
+    def test_search_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            IVFBackend().search(SRC, k=3)
+
+
+class TestNSWBackend:
+    def test_contract_and_recall(self, space):
+        backend = NSWBackend(ef_search=48).build(space)
+        ids, dists = backend.search(SRC, k=10)
+        _assert_contract(ids, dists, 10, space.num_targets)
+        exact_ids, __ = ExactBackend().build(space).search(SRC, k=10)
+        assert recall_at_k(ids, exact_ids, 10) >= 0.8
+
+    def test_widening_beats_bare_beam(self, space):
+        exact_ids, __ = ExactBackend().build(space).search(SRC, k=10)
+        backend = NSWBackend(ef_search=16).build(space)
+        bare_ids, __ = backend.search(SRC, k=10)
+        backend.rerank_k = 150
+        backend.expand_hops = 2
+        wide_ids, wide_dists = backend.search(SRC, k=10)
+        _assert_contract(wide_ids, wide_dists, 10, space.num_targets)
+        assert (recall_at_k(wide_ids, exact_ids, 10)
+                >= recall_at_k(bare_ids, exact_ids, 10))
+        assert recall_at_k(wide_ids, exact_ids, 10) >= 0.9
+
+    def test_expand_hops_zero_reranks_bare_beam(self, space):
+        """rerank_k > 0 with expand_hops=0 must not widen."""
+        backend = NSWBackend(ef_search=32, rerank_k=150,
+                             expand_hops=0).build(space)
+        ids, dists = backend.search(SRC, k=10)
+        _assert_contract(ids, dists, 10, space.num_targets)
+
+    def test_exclude_self(self, same_type_space):
+        backend = NSWBackend(ef_search=32).build(same_type_space)
+        src = np.arange(20)
+        ids, __ = backend.search(src, k=5, exclude_self=True)
+        assert not np.any(ids == src[:, None])
+
+    def test_severed_graph_falls_back_to_full_scan(self, space):
+        """The disconnected-component safety net serves exact results."""
+        backend = NSWBackend(ef_search=space.num_targets).build(space)
+        backend._adj[:] = -1
+        backend._deg[:] = 0
+        ids, dists = backend.search(SRC, k=10)
+        exact_ids, exact_dists = ExactBackend().build(space).search(
+            SRC, k=10)
+        assert np.array_equal(ids, exact_ids)
+        assert np.allclose(dists, exact_dists)
+
+    def test_build_is_deterministic(self, space):
+        a = NSWBackend(ef_search=32, seed=5).build(space)
+        b = NSWBackend(ef_search=32, seed=5).build(space)
+        assert np.array_equal(a._adj, b._adj)
+        ids_a, dists_a = a.search(SRC, k=10)
+        ids_b, dists_b = b.search(SRC, k=10)
+        assert np.array_equal(ids_a, ids_b)
+        assert np.array_equal(dists_a, dists_b)
+
+    def test_tiny_catalogs(self):
+        for n in (1, 2, 5):
+            tiny = _space(num_targets=n)
+            backend = NSWBackend(max_degree=2, ef_search=4).build(tiny)
+            ids, dists = backend.search(SRC, k=min(3, n))
+            assert ids.shape == (SRC.size, min(3, n))
+            assert np.all(np.isfinite(dists))
+
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(ValueError, match="max_degree"):
+            NSWBackend(max_degree=0)
+        with pytest.raises(ValueError, match="ef_construction"):
+            NSWBackend(ef_construction=0)
+        with pytest.raises(ValueError, match="ef_search"):
+            NSWBackend(ef_search=0)
+        with pytest.raises(ValueError, match="expand_hops"):
+            NSWBackend(expand_hops=-1)
+
+    def test_search_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            NSWBackend().search(SRC, k=3)
+
+
+class TestShardedComposition:
+    FULL = {"nprobe": 10 ** 9, "rerank_k": 0}
+
+    def test_sharded_ivf_full_dial_matches_sharded_exact(self, space):
+        """Swapping the inner backend exact -> ivf at the full-coverage
+        dial must change nothing, bit for bit."""
+        ivf = make_backend("sharded", num_shards=3, inner_backend="ivf",
+                           inner_kwargs=dict(self.FULL)).build(space)
+        exact = make_backend("sharded", num_shards=3).build(space)
+        ids_a, dists_a = ivf.search(SRC, k=10)
+        ids_b, dists_b = exact.search(SRC, k=10)
+        assert np.array_equal(ids_a, ids_b)
+        assert np.array_equal(dists_a, dists_b)
+
+    def test_sharded_ivf_full_dial_matches_unsharded(self, space):
+        """Same ids as the unsharded backend; distances to ~1 ulp (BLAS
+        summation order differs between shard slices and full arrays)."""
+        sharded = make_backend("sharded", num_shards=3,
+                               inner_backend="ivf",
+                               inner_kwargs=dict(self.FULL)).build(space)
+        unsharded = IVFBackend(**self.FULL).build(space)
+        ids_a, dists_a = sharded.search(SRC, k=10)
+        ids_b, dists_b = unsharded.search(SRC, k=10)
+        assert np.array_equal(ids_a, ids_b)
+        assert np.allclose(dists_a, dists_b, rtol=1e-9, atol=1e-12)
+
+    def test_sharded_nsw_contract(self, space):
+        backend = make_backend(
+            "sharded", num_shards=3, inner_backend="nsw",
+            inner_kwargs={"ef_search": 32, "max_degree": 8}).build(space)
+        assert all(isinstance(s, NSWBackend) for s in backend.shards)
+        ids, dists = backend.search(SRC, k=10)
+        _assert_contract(ids, dists, 10, space.num_targets)
+
+    def test_dead_shard_degrades_like_exact_inner(self, space):
+        """A faulted ivf shard degrades identically to a faulted exact
+        shard: healthy-shard merge, search flagged degraded."""
+        ivf = make_backend("sharded", num_shards=4, inner_backend="ivf",
+                           inner_kwargs=dict(self.FULL)).build(space)
+        exact = make_backend("sharded", num_shards=4).build(space)
+        install(FaultSpec(site="shard.search", match={"shard": 2}))
+        ids_a, dists_a = ivf.search(SRC, k=10)
+        assert ivf.last_failed_shards == [2]
+        ids_b, dists_b = exact.search(SRC, k=10)
+        assert exact.last_failed_shards == [2]
+        assert np.array_equal(ids_a, ids_b)
+        assert np.array_equal(dists_a, dists_b)
+        lo, hi = ivf.shard_bounds[2]
+        assert not np.any((ids_a >= lo) & (ids_a < hi))
+
+
+class TestIndexSetANN:
+    @pytest.fixture(scope="class")
+    def model(self, train_graph):
+        from repro.models import make_model
+        from repro.training import Trainer, TrainerConfig
+        m = make_model("amcad", train_graph, num_subspaces=2,
+                       subspace_dim=4, seed=9)
+        Trainer(m, TrainerConfig(steps=10, batch_size=32, seed=9)).train()
+        return m
+
+    def test_backend_params_survive_roundtrip(self, model, tmp_path):
+        kwargs = {"num_lists": 4, "nprobe": 2, "rerank_k": 32}
+        built = IndexSet(model, top_k=6, backend="ivf",
+                         backend_kwargs=kwargs).build([Relation.Q2A])
+        assert built.backend_params == kwargs
+        loaded = IndexSet.load(built.save(tmp_path / "ivf.npz"))
+        assert loaded.backend_name == "ivf"
+        assert loaded.backend_params == kwargs
+        ids_a, dists_a = built[Relation.Q2A].lookup_batch(np.arange(8))
+        ids_b, dists_b = loaded[Relation.Q2A].lookup_batch(np.arange(8))
+        assert np.array_equal(ids_a, ids_b)
+        assert np.allclose(dists_a, dists_b)
+
+    def test_sharded_inner_ivf_roundtrip(self, model, tmp_path):
+        kwargs = {"num_shards": 2, "inner_backend": "ivf",
+                  "inner_kwargs": {"num_lists": 4, "nprobe": 4}}
+        built = IndexSet(model, top_k=5, backend="sharded",
+                         backend_kwargs=kwargs).build([Relation.Q2A])
+        loaded = IndexSet.load(built.save(tmp_path / "sharded_ivf.npz"))
+        assert loaded.backend_name == "sharded"
+        assert loaded.backend_params == kwargs
+        assert loaded.shard_bounds[Relation.Q2A] == \
+            built.shard_bounds[Relation.Q2A]
+
+    def test_ivf_backend_instances_built(self, model):
+        built = IndexSet(model, top_k=5, backend="nsw",
+                         backend_kwargs={"ef_search": 16,
+                                         "max_degree": 4}).build(
+            [Relation.Q2A])
+        assert isinstance(built.backends[Relation.Q2A], NSWBackend)
+        assert built.backends[Relation.Q2A].ef_search == 16

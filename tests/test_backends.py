@@ -342,6 +342,8 @@ class TestIndexSetPersistence:
         "exact": {},
         "pq": {"codebook_size": 16},
         "sharded": {"num_shards": 3},
+        "ivf": {"num_lists": 4, "nprobe": 2},
+        "nsw": {"ef_search": 16, "max_degree": 4},
     }
 
     @pytest.mark.parametrize("backend", sorted(BACKENDS))

@@ -125,6 +125,61 @@ def test_index_rebuilds_and_reshards(cli_artifacts, capsys):
                          "--set", "index.backend=exact"]) == 0
 
 
+def test_index_rebuilds_with_ivf_backend(cli_artifacts, capsys):
+    """`index --set index.backend=ivf` rebuilds without retraining and
+    the reloaded artifact carries the ANN dials in its npz header."""
+    from repro.io import load_index_set
+    try:
+        assert cli.main(["index", "--artifacts", str(cli_artifacts),
+                         "--set", "index.backend=ivf",
+                         "--set", "index.nprobe=4",
+                         "--set", "index.rerank_k=32"]) == 0
+        out = capsys.readouterr().out
+        info = json.loads(out[:out.rindex("}") + 1])
+        assert info["backend"] == "ivf"
+        assert info["nprobe"] == 4
+        assert info["rerank_k"] == 32
+        stored = load_index_set(cli_artifacts / "indices.npz")
+        assert stored.backend == "ivf"
+        assert stored.backend_params["nprobe"] == 4
+        assert stored.backend_params["rerank_k"] == 32
+        # serving from the reloaded ANN artifacts still works
+        assert cli.main(["serve", "--artifacts", str(cli_artifacts),
+                         "--requests", "3"]) == 0
+        assert "served 3 request(s)" in capsys.readouterr().out
+    finally:
+        assert cli.main(["index", "--artifacts", str(cli_artifacts),
+                         "--set", "index.backend=exact"]) == 0
+
+
+def test_index_rebuilds_sharded_over_ivf(cli_artifacts, capsys):
+    """Sharded composition from the CLI: `index.backend=sharded` with
+    `index.inner_backend=ivf` round-trips shard layout AND ANN dials."""
+    from repro.io import load_index_set
+    try:
+        assert cli.main(["index", "--artifacts", str(cli_artifacts),
+                         "--set", "index.backend=sharded",
+                         "--set", "index.inner_backend=ivf",
+                         "--set", "index.num_shards=2",
+                         "--set", "index.nprobe=3"]) == 0
+        out = capsys.readouterr().out
+        info = json.loads(out[:out.rindex("}") + 1])
+        assert info["backend"] == "sharded"
+        assert info["inner_backend"] == "ivf"
+        assert info["nprobe"] == 3
+        stored = load_index_set(cli_artifacts / "indices.npz")
+        assert stored.backend == "sharded"
+        assert stored.backend_params["inner_backend"] == "ivf"
+        assert stored.backend_params["num_shards"] == 2
+        assert stored.backend_params["inner_kwargs"]["nprobe"] == 3
+        assert cli.main(["serve", "--artifacts", str(cli_artifacts),
+                         "--requests", "2"]) == 0
+        assert "served 2 request(s)" in capsys.readouterr().out
+    finally:
+        assert cli.main(["index", "--artifacts", str(cli_artifacts),
+                         "--set", "index.backend=exact"]) == 0
+
+
 def test_index_rejects_non_index_overrides(cli_artifacts):
     with pytest.raises(SystemExit, match="index.* overrides"):
         cli.main(["index", "--artifacts", str(cli_artifacts),

@@ -3,7 +3,30 @@
 import numpy as np
 import pytest
 
-from repro.retrieval.quantization import PQIndex, recall_at_k, _kmeans
+from repro.retrieval.quantization import (PQIndex, assign_to_centroids,
+                                          recall_at_k, _kmeans)
+
+
+class TestAssignToCentroids:
+    def test_blocked_matches_full_broadcast(self):
+        """Any block size gives bit-identical assignments to the naive
+        full ``(n, k, dim)`` broadcast it replaces."""
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(257, 6))
+        centroids = rng.normal(size=(9, 6))
+        d2 = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(-1)
+        full = np.argmin(d2, axis=1)
+        for block_rows in (1, 7, 64, 257, 10_000):
+            blocked = assign_to_centroids(data, centroids,
+                                          block_rows=block_rows)
+            assert np.array_equal(blocked, full)
+
+    def test_default_block_bounds_memory(self):
+        """The default block size caps the per-block tensor elements."""
+        from repro.retrieval.quantization import _ASSIGN_BLOCK_ELEMENTS
+        k, dim = 64, 16
+        block_rows = max(1, _ASSIGN_BLOCK_ELEMENTS // (k * dim))
+        assert block_rows * k * dim <= _ASSIGN_BLOCK_ELEMENTS
 
 
 class TestKMeans:
