@@ -20,6 +20,7 @@ from repro.geometry.stereographic import (
     tan_k,
 )
 from repro.geometry.fast import fused_dist, fused_expmap0, fused_logmap0
+from repro.geometry.kernels import HAVE_NUMBA, KERNEL_MODES
 from repro.geometry.manifold import (
     Euclidean,
     Hyperbolic,
@@ -41,6 +42,8 @@ __all__ = [
     "fused_expmap0",
     "fused_logmap0",
     "fused_dist",
+    "HAVE_NUMBA",
+    "KERNEL_MODES",
     "UnifiedManifold",
     "Euclidean",
     "Hyperbolic",

@@ -38,6 +38,14 @@ Three families live here:
    operation, the offline ``embed_all``/index-build embeddings are
    bit-comparable to what the training-side encoder produces on the
    same :class:`~repro.models.plan.EncodePlan`.
+
+The actual array math lives in :mod:`repro.geometry.kernels`: every
+public function here flattens its inputs to the registry's 2-D
+float64 contract and dispatches to whichever implementation (pure
+numpy or numba-compiled) the process-wide kernel mode selects.  The
+functions in this module own the tape wiring (tensor wrapping, cached
+VJP closures, ``_unbroadcast``), which stays in plain Python either
+way — the MyGrad idiom of compiling only the sequential inner loop.
 """
 
 from __future__ import annotations
@@ -46,6 +54,9 @@ import numpy as np
 
 from repro.autodiff.ops import _unbroadcast
 from repro.autodiff.tensor import Tensor, ensure_tensor
+
+from repro.geometry import kernels as _kernels
+from repro.geometry.kernels import KIND_ARTAN, KIND_TAN
 
 # The clamp/ε constants are shared with the composed reference: the fused
 # backward closures replicate its gradients only while they stay identical.
@@ -57,27 +68,32 @@ from repro.geometry.stereographic import (
     _TANH_ARG_MAX,
 )
 
+__all__ = [
+    "artan_k_numpy", "tan_k_numpy", "pairwise_mobius_norm",
+    "pairwise_dist", "rowwise_dist", "fused_expmap0", "fused_logmap0",
+    "fused_dist", "expmap0_numpy", "logmap0_numpy", "mobius_add_numpy",
+    "project_numpy", "matvec_numpy",
+]
+
+
+def _as_2d(x) -> np.ndarray:
+    """Float64 view of ``x`` flattened to the registry's ``(n, d)`` shape."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.ascontiguousarray(x).reshape(-1, x.shape[-1])
+
 
 def artan_k_numpy(x: np.ndarray, kappa: float) -> np.ndarray:
     """Scalar-curvature ``tan⁻¹_κ`` on plain arrays."""
-    if kappa < -_KAPPA_ZERO_TOL:
-        s = np.sqrt(-kappa)
-        return np.arctanh(np.clip(s * x, -_ARTANH_ARG_MAX, _ARTANH_ARG_MAX)) / s
-    if kappa > _KAPPA_ZERO_TOL:
-        s = np.sqrt(kappa)
-        return np.arctan(s * x) / s
-    return x - kappa * x ** 3 / 3.0
+    x = np.asarray(x, dtype=np.float64)
+    flat = np.ascontiguousarray(x).reshape(-1)
+    return _kernels.impl("artan_k")(flat, float(kappa)).reshape(x.shape)
 
 
 def tan_k_numpy(x: np.ndarray, kappa: float) -> np.ndarray:
     """Scalar-curvature ``tan_κ`` on plain arrays."""
-    if kappa < -_KAPPA_ZERO_TOL:
-        s = np.sqrt(-kappa)
-        return np.tanh(np.clip(s * x, -15.0, 15.0)) / s
-    if kappa > _KAPPA_ZERO_TOL:
-        s = np.sqrt(kappa)
-        return np.tan(np.clip(s * x, -1.51, 1.51)) / s
-    return x + kappa * x ** 3 / 3.0
+    x = np.asarray(x, dtype=np.float64)
+    flat = np.ascontiguousarray(x).reshape(-1)
+    return _kernels.impl("tan_k")(flat, float(kappa)).reshape(x.shape)
 
 
 def pairwise_mobius_norm(x: np.ndarray, y: np.ndarray,
@@ -89,97 +105,73 @@ def pairwise_mobius_norm(x: np.ndarray, y: np.ndarray,
     ``B = 1 + κ‖a‖²`` and ``D = 1 - 2κ⟨a,y⟩ + κ²‖a‖²‖y‖²``; hence
     ``‖·‖² = (A²‖a‖² + 2AB⟨a,y⟩ + B²‖y‖²) / D²``.
     """
-    x = np.asarray(x, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
-    inner = -(x @ y.T)                      # ⟨-x, y⟩, (B, N)
-    x2 = np.sum(x * x, axis=1)[:, None]     # ‖-x‖² = ‖x‖², (B, 1)
-    y2 = np.sum(y * y, axis=1)[None, :]     # (1, N)
-    coeff_a = 1.0 - 2.0 * kappa * inner - kappa * y2
-    coeff_b = 1.0 + kappa * x2
-    denom = 1.0 - 2.0 * kappa * inner + kappa * kappa * x2 * y2
-    denom = np.where(np.abs(denom) < 1e-15, 1e-15, denom)
-    squared = (coeff_a * coeff_a * x2 + 2.0 * coeff_a * coeff_b * inner
-               + coeff_b * coeff_b * y2)
-    squared = np.maximum(squared, 0.0)
-    return np.sqrt(squared) / np.abs(denom)
+    return _kernels.impl("pairwise_mobius_norm")(
+        _as_2d(x), _as_2d(y), float(kappa))
 
 
-def pairwise_dist(x: np.ndarray, y: np.ndarray, kappa: float) -> np.ndarray:
-    """Geodesic distance matrix ``d_κ(x_i, y_j)``, shape ``(B, N)``."""
-    return 2.0 * artan_k_numpy(pairwise_mobius_norm(x, y, kappa), kappa)
+def pairwise_dist(x: np.ndarray, y: np.ndarray, kappa: float,
+                  block_rows: int = 0) -> np.ndarray:
+    """Geodesic distance matrix ``d_κ(x_i, y_j)``, shape ``(B, N)``.
+
+    ``block_rows > 0`` streams the query rows in blocks of that size —
+    the blocked-merge idiom of ``ExactBackend`` — so the ``(B, N)``
+    scalar intermediates of the norm expansion are bounded at
+    ``(block_rows, N)`` regardless of batch size.  Each row's result is
+    independent of the blocking (equal up to the shape-dependent
+    accumulation order of the numpy path's BLAS inner products).
+    """
+    x = _as_2d(x)
+    y = _as_2d(y)
+    fn = _kernels.impl("pairwise_dist")
+    kappa = float(kappa)
+    if block_rows and 0 < block_rows < x.shape[0]:
+        out = np.empty((x.shape[0], y.shape[0]))
+        for start in range(0, x.shape[0], block_rows):
+            stop = min(start + block_rows, x.shape[0])
+            out[start:stop] = fn(x[start:stop], y, kappa)
+        return out
+    return fn(x, y, kappa)
+
+
+def rowwise_dist(x: np.ndarray, y: np.ndarray, kappa: float) -> np.ndarray:
+    """Aligned row-by-row distance ``d_κ(x_i, y_i)``, shape ``(B,)``."""
+    return _kernels.impl("rowwise_dist")(_as_2d(x), _as_2d(y), float(kappa))
 
 
 # -- fused differentiable kernels -----------------------------------------
 #
-# Conventions shared by the value-and-derivative helpers below: ``r`` is a
-# strictly positive norm of shape ``(..., 1)``; each helper returns
-# ``(f, df_dr, df_dkappa)`` where the derivatives replicate what the
-# composed autodiff chain in :mod:`repro.geometry.stereographic` would
-# accumulate (same ε constants, same clip masks, same ``max`` clamps).
+# Tape wiring only: the forward/backward array math lives behind the
+# kernel registry (``radial_fwd``/``radial_bwd``, ``dist_fwd``/
+# ``dist_bwd``).  The forward caches the per-row trig value and every
+# intermediate the hand-derived VJP needs, so the backward closure
+# re-evaluates no tanh/tan/arctanh/arctan — and under ``no_grad`` the
+# derivative arithmetic never runs at all.
 
 
 def _tan_k_vjp(r: np.ndarray, kappa: float):
-    """``tan_κ(r)`` with ∂/∂r and ∂/∂κ, mirroring ``stereographic.tan_k``."""
-    if kappa < -_KAPPA_ZERO_TOL:
-        s = np.sqrt(-kappa + _EPS)
-        u = r * s
-        inside = (u >= -_TANH_ARG_MAX) & (u <= _TANH_ARG_MAX)
-        th = np.tanh(np.clip(u, -_TANH_ARG_MAX, _TANH_ARG_MAX))
-        f = th / s
-        sech2 = (1.0 - th * th) * inside
-        df_dr = sech2
-        # d scale / dκ through abs+sqrt: sign(κ) · 0.5 / s
-        ds_dk = -0.5 / s
-        df_ds = (sech2 * r * s - th) / (s * s)
-        return f, df_dr, df_ds * ds_dk
-    if kappa > _KAPPA_ZERO_TOL:
-        s = np.sqrt(kappa + _EPS)
-        u = r * s
-        inside = (u >= -_TAN_ARG_MAX) & (u <= _TAN_ARG_MAX)
-        tn = np.tan(np.clip(u, -_TAN_ARG_MAX, _TAN_ARG_MAX))
-        f = tn / s
-        sec2 = (1.0 + tn * tn) * inside
-        df_dr = sec2
-        ds_dk = 0.5 / s
-        df_ds = (sec2 * r * s - tn) / (s * s)
-        return f, df_dr, df_ds * ds_dk
-    # Taylor branch: r + κ·r³/3 (shared third-order expansion)
-    return (r + kappa * r ** 3 / 3.0,
-            1.0 + kappa * r * r,
-            r ** 3 / 3.0)
+    """``tan_κ(r)`` with ∂/∂r and ∂/∂κ, mirroring ``stereographic.tan_k``.
+
+    Compatibility wrapper over the split fwd/bwd helpers in
+    :mod:`repro.geometry.kernels`; the fused tape ops call those
+    directly so the forward trig value is computed once and cached.
+    """
+    f, aux = _kernels.tan_k_fwd_numpy(r, kappa)
+    df_dr, df_dk = _kernels.tan_k_bwd_numpy(r, aux, kappa)
+    return f, df_dr, df_dk
 
 
 def _artan_k_vjp(r: np.ndarray, kappa: float):
-    """``tan⁻¹_κ(r)`` with ∂/∂r and ∂/∂κ, mirroring ``stereographic.artan_k``."""
-    if kappa < -_KAPPA_ZERO_TOL:
-        s = np.sqrt(-kappa + _EPS)
-        u = r * s
-        inside = (u >= -_ARTANH_ARG_MAX) & (u <= _ARTANH_ARG_MAX)
-        c = np.clip(u, -_ARTANH_ARG_MAX, _ARTANH_ARG_MAX)
-        at = np.arctanh(c)
-        # ops.arctanh guards 1-c² with the same clamp
-        dat_dc = 1.0 / np.maximum(1.0 - c * c, _EPS)
-        f = at / s
-        df_dr = dat_dc * inside
-        ds_dk = -0.5 / s
-        df_ds = (dat_dc * inside * r * s - at) / (s * s)
-        return f, df_dr, df_ds * ds_dk
-    if kappa > _KAPPA_ZERO_TOL:
-        s = np.sqrt(kappa + _EPS)
-        u = r * s
-        at = np.arctan(u)
-        dat_du = 1.0 / (1.0 + u * u)
-        f = at / s
-        df_dr = dat_du
-        ds_dk = 0.5 / s
-        df_ds = (dat_du * r * s - at) / (s * s)
-        return f, df_dr, df_ds * ds_dk
-    return (r - kappa * r ** 3 / 3.0,
-            1.0 - kappa * r * r,
-            -(r ** 3) / 3.0)
+    """``tan⁻¹_κ(r)`` with ∂/∂r and ∂/∂κ, mirroring ``stereographic.artan_k``.
+
+    Compatibility wrapper over the split fwd/bwd helpers in
+    :mod:`repro.geometry.kernels`.
+    """
+    f, aux = _kernels.artan_k_fwd_numpy(r, kappa)
+    df_dr, df_dk = _kernels.artan_k_bwd_numpy(r, aux, kappa)
+    return f, df_dr, df_dk
 
 
-def _radial_map(v, kappa, vjp) -> Tensor:
+def _radial_map(v, kappa, kind) -> Tensor:
     """Shared fused body of ``expmap0``/``logmap0``: ``f(‖v‖)·v/‖v‖``.
 
     One tape node replacing the composed chain norm → trig → rescale
@@ -190,27 +182,29 @@ def _radial_map(v, kappa, vjp) -> Tensor:
     kappa = ensure_tensor(kappa)
     kval = float(kappa.data)
     data = v.data
-    r = np.sqrt(np.sum(data * data, axis=-1, keepdims=True) + _EPS)
-    f, df_dr, df_dk = vjp(r, kval)
-    out_data = data * (f / r)
+    shape = data.shape
+    v2 = _as_2d(data)
+    out2, r, f, aux = _kernels.impl("radial_fwd")(v2, kval, kind)
+    out_data = out2.reshape(shape)
 
     def backward(grad):
-        gv_inner = np.sum(grad * data, axis=-1, keepdims=True)
-        grad_v = grad * (f / r) + data * gv_inner * (df_dr * r - f) / r ** 3
-        grad_k = np.sum(gv_inner / r * df_dk)
-        return (grad_v, np.asarray(grad_k).reshape(kappa.shape))
+        g2 = np.ascontiguousarray(grad).reshape(v2.shape)
+        gv2, grad_k = _kernels.impl("radial_bwd")(g2, v2, r, f, aux,
+                                                  kval, kind)
+        return (gv2.reshape(shape),
+                np.asarray(grad_k).reshape(kappa.shape))
 
     return Tensor._make(out_data, (v, kappa), backward)
 
 
 def fused_expmap0(v, kappa) -> Tensor:
     """Fused ``exp^κ_0(v) = tan_κ(‖v‖)·v/‖v‖`` as a single tape node."""
-    return _radial_map(v, kappa, _tan_k_vjp)
+    return _radial_map(v, kappa, KIND_TAN)
 
 
 def fused_logmap0(x, kappa) -> Tensor:
     """Fused ``log^κ_0(x) = tan⁻¹_κ(‖x‖)·x/‖x‖`` as a single tape node."""
-    return _radial_map(x, kappa, _artan_k_vjp)
+    return _radial_map(x, kappa, KIND_ARTAN)
 
 
 def fused_dist(x, y, kappa) -> Tensor:
@@ -227,39 +221,20 @@ def fused_dist(x, y, kappa) -> Tensor:
     kappa = ensure_tensor(kappa)
     kval = float(kappa.data)
     a, b = np.broadcast_arrays(-x.data, y.data)
-    p = np.sum(a * b, axis=-1, keepdims=True)
-    alpha = np.sum(a * a, axis=-1, keepdims=True)
-    beta = np.sum(b * b, axis=-1, keepdims=True)
-    coeff_a = 1.0 - 2.0 * kval * p - kval * beta
-    coeff_b = 1.0 + kval * alpha
-    den = 1.0 - 2.0 * kval * p + kval * kval * alpha * beta
-    safe = np.where(np.abs(den) < _EPS, den + _EPS, den)
-    num = coeff_a * a + coeff_b * b
-    diff = num / safe
-    r = np.sqrt(np.sum(diff * diff, axis=-1, keepdims=True) + _EPS)
-    f, df_dr, df_dk = _artan_k_vjp(r, kval)
-    out_data = 2.0 * f
+    shape = a.shape
+    a2 = _as_2d(a)
+    b2 = _as_2d(b)
+    (out, diff, r, f, aux, safe, p, alpha,
+     beta, ca, cb) = _kernels.impl("dist_fwd")(a2, b2, kval)
+    out_data = out.reshape(shape[:-1] + (1,))
 
     def backward(grad):
-        g_f = 2.0 * grad
-        g_r = g_f * df_dr
-        grad_k = np.sum(g_f * df_dk)
-        g_diff = g_r * diff / r
-        g_num = g_diff / safe
-        g_den = -np.sum(g_diff * diff, axis=-1, keepdims=True) / safe
-        g_ca = np.sum(g_num * a, axis=-1, keepdims=True)
-        g_cb = np.sum(g_num * b, axis=-1, keepdims=True)
-        g_a = coeff_a * g_num
-        g_b = coeff_b * g_num
-        g_p = -2.0 * kval * (g_ca + g_den)
-        g_alpha = kval * kval * beta * g_den + kval * g_cb
-        g_beta = kval * kval * alpha * g_den - kval * g_ca
-        grad_k += np.sum(g_den * (-2.0 * p + 2.0 * kval * alpha * beta)
-                         + g_ca * (-2.0 * p - beta) + g_cb * alpha)
-        g_a = g_a + g_p * b + 2.0 * g_alpha * a
-        g_b = g_b + g_p * a + 2.0 * g_beta * b
-        return (_unbroadcast(-g_a, x.shape),
-                _unbroadcast(g_b, y.shape),
+        g = np.ascontiguousarray(grad).reshape(-1)
+        g_a, g_b, grad_k = _kernels.impl("dist_bwd")(
+            g, a2, b2, diff, r, f, aux, safe, p, alpha, beta, ca, cb,
+            kval)
+        return (_unbroadcast(-g_a.reshape(shape), x.shape),
+                _unbroadcast(g_b.reshape(shape), y.shape),
                 np.asarray(grad_k).reshape(kappa.shape))
 
     return Tensor._make(out_data, (x, y, kappa), backward)
@@ -272,43 +247,32 @@ def fused_dist(x, y, kappa) -> Tensor:
 # operation by operation — identical ε constants, identical clip masks,
 # identical evaluation order — so outputs are bit-equal to the tensor
 # path on float64.  The encoder-plane tests hold them to exact parity.
+# expmap0/logmap0 share the tensor path's ``radial_fwd`` kernel, so the
+# mirrors track whatever implementation the kernel mode selects.
 
 
 def _tan_k_forward(r: np.ndarray, kappa: float) -> np.ndarray:
     """Forward half of :func:`_tan_k_vjp` (``tan_κ`` with fused ε/clips)."""
-    if kappa < -_KAPPA_ZERO_TOL:
-        s = np.sqrt(-kappa + _EPS)
-        return np.tanh(np.clip(r * s, -_TANH_ARG_MAX, _TANH_ARG_MAX)) / s
-    if kappa > _KAPPA_ZERO_TOL:
-        s = np.sqrt(kappa + _EPS)
-        return np.tan(np.clip(r * s, -_TAN_ARG_MAX, _TAN_ARG_MAX)) / s
-    return r + kappa * r ** 3 / 3.0
+    return _kernels.tan_k_fwd_numpy(r, kappa)[0]
 
 
 def _artan_k_forward(r: np.ndarray, kappa: float) -> np.ndarray:
     """Forward half of :func:`_artan_k_vjp` (``tan⁻¹_κ`` with fused ε/clips)."""
-    if kappa < -_KAPPA_ZERO_TOL:
-        s = np.sqrt(-kappa + _EPS)
-        return np.arctanh(np.clip(r * s, -_ARTANH_ARG_MAX,
-                                  _ARTANH_ARG_MAX)) / s
-    if kappa > _KAPPA_ZERO_TOL:
-        s = np.sqrt(kappa + _EPS)
-        return np.arctan(r * s) / s
-    return r - kappa * r ** 3 / 3.0
+    return _kernels.artan_k_fwd_numpy(r, kappa)[0]
 
 
 def expmap0_numpy(v: np.ndarray, kappa: float) -> np.ndarray:
     """No-tape mirror of :func:`fused_expmap0`: ``tan_κ(‖v‖)·v/‖v‖``."""
     v = np.asarray(v, dtype=np.float64)
-    r = np.sqrt(np.sum(v * v, axis=-1, keepdims=True) + _EPS)
-    return v * (_tan_k_forward(r, kappa) / r)
+    out2 = _kernels.impl("radial_fwd")(_as_2d(v), float(kappa), KIND_TAN)[0]
+    return out2.reshape(v.shape)
 
 
 def logmap0_numpy(x: np.ndarray, kappa: float) -> np.ndarray:
     """No-tape mirror of :func:`fused_logmap0`: ``tan⁻¹_κ(‖x‖)·x/‖x‖``."""
     x = np.asarray(x, dtype=np.float64)
-    r = np.sqrt(np.sum(x * x, axis=-1, keepdims=True) + _EPS)
-    return x * (_artan_k_forward(r, kappa) / r)
+    out2 = _kernels.impl("radial_fwd")(_as_2d(x), float(kappa), KIND_ARTAN)[0]
+    return out2.reshape(x.shape)
 
 
 def mobius_add_numpy(x: np.ndarray, y: np.ndarray,
@@ -344,21 +308,3 @@ def matvec_numpy(weight: np.ndarray, x: np.ndarray,
                  kappa: float) -> np.ndarray:
     """No-tape Möbius matvec ``W ⊗κ x`` (fused log → matmul → exp)."""
     return expmap0_numpy(logmap0_numpy(x, kappa) @ weight, kappa)
-
-
-def rowwise_dist(x: np.ndarray, y: np.ndarray, kappa: float) -> np.ndarray:
-    """Aligned row-by-row distance ``d_κ(x_i, y_i)``, shape ``(B,)``."""
-    x = np.asarray(x, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
-    inner = -np.sum(x * y, axis=1)
-    x2 = np.sum(x * x, axis=1)
-    y2 = np.sum(y * y, axis=1)
-    coeff_a = 1.0 - 2.0 * kappa * inner - kappa * y2
-    coeff_b = 1.0 + kappa * x2
-    denom = 1.0 - 2.0 * kappa * inner + kappa * kappa * x2 * y2
-    denom = np.where(np.abs(denom) < 1e-15, 1e-15, denom)
-    squared = np.maximum(coeff_a * coeff_a * x2
-                         + 2.0 * coeff_a * coeff_b * inner
-                         + coeff_b * coeff_b * y2, 0.0)
-    norm = np.sqrt(squared) / np.abs(denom)
-    return 2.0 * artan_k_numpy(norm, kappa)

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.autodiff import ops
 from repro.autodiff.tensor import Parameter, Tensor, no_grad
+from repro.geometry import kernels as geometry_kernels
 from repro.geometry.manifold import UnifiedManifold
 from repro.geometry.product import ProductManifold
 from repro.geometry.stereographic import fermi_dirac
@@ -76,6 +77,11 @@ class AMCADConfig:
     #: context-encoder compute plane: ``"frontier"`` (dedup-encode-gather,
     #: default) or ``"recursive"`` (the parity reference)
     compute_plane: str = "frontier"
+    #: geometry kernel implementations: ``"auto"`` (compiled when numba
+    #: is importable, numpy otherwise), ``"numpy"``, or ``"compiled"``
+    #: (requires the ``[compiled]`` extra) — see
+    #: :mod:`repro.geometry.kernels`
+    kernels: str = "auto"
     space: str = "adaptive"
     use_fusion: bool = True
     share_edge_space: bool = False
@@ -121,6 +127,9 @@ class AMCAD:
         self.graph = graph
         self.config = config or AMCADConfig()
         cfg = self.config
+        # resolve + activate the geometry kernel dial for this process;
+        # raises a clear ValueError for "compiled" without numba
+        self.kernel_mode = geometry_kernels.set_mode(cfg.kernels)
         rng = np.random.default_rng(cfg.seed)
         self.rng = rng
 
@@ -479,7 +488,11 @@ def make_model(name: str, graph: HetGraph, *, num_subspaces: int = 2,
     Every variant additionally accepts ``compute_plane="frontier"``
     (default; dedup-encode-gather context encoding) or ``"recursive"``
     (the original per-layer recursion, kept as the parity reference)
-    through ``overrides`` — see :data:`repro.models.encoder.COMPUTE_PLANES`.
+    through ``overrides`` — see :data:`repro.models.encoder.COMPUTE_PLANES` —
+    and ``kernels="auto"`` / ``"numpy"`` / ``"compiled"`` selecting the
+    geometry kernel implementations (compiled requires the
+    ``[compiled]`` numba extra) — see
+    :data:`repro.geometry.kernels.KERNEL_MODES`.
     """
     key = name.lower()
     base = dict(num_subspaces=num_subspaces, subspace_dim=subspace_dim,

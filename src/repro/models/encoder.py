@@ -489,6 +489,12 @@ class NodeEncoder:
         Output: one ``(top_frontier, subspace_dim)`` array per subspace,
         in top-frontier (sorted-unique) order, with fusion applied when
         the encoder uses it.
+
+        The geometry hot loops (``fast.expmap0_numpy``/``logmap0_numpy``
+        and the tape twins of :meth:`_encode_from_plan`) dispatch through
+        the same :mod:`repro.geometry.kernels` registry, so this path
+        and the tape path stay bit-comparable under either kernel mode
+        and both speed up together when the compiled kernels are active.
         """
         reps = self._plan_levels_numpy(plan, upto=plan.layers)
         points = reps[(plan.layers, plan.node_type)]

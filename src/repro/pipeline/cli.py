@@ -319,6 +319,9 @@ def _cmd_models(_args) -> int:
     print("every variant runs on an encoder compute plane: "
           "model.compute_plane = 'frontier' (dedup-encode-gather, default) "
           "or 'recursive' (parity reference)")
+    print("geometry kernels are selected by model.kernels = 'auto' "
+          "(compiled when numba is installed, numpy otherwise, default), "
+          "'numpy', or 'compiled' (requires the [compiled] extra)")
     return 0
 
 

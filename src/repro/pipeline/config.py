@@ -23,6 +23,7 @@ from repro.common import atomic_write_text
 from repro.data.synthetic import SimulatorConfig
 from repro.graph.schema import Relation
 from repro.models.amcad import AMCADConfig, list_models
+from repro.geometry.kernels import KERNEL_MODES
 from repro.models.encoder import COMPUTE_PLANES
 from repro.retrieval.backend import BACKENDS
 from repro.testing.faults import FaultSpec
@@ -101,6 +102,10 @@ class ModelConfig:
     #: context-encoder compute plane: ``"frontier"`` (dedup-encode-gather)
     #: or ``"recursive"`` (the parity reference)
     compute_plane: str = "frontier"
+    #: geometry kernel implementations: ``"auto"`` (compiled when numba
+    #: is importable, numpy otherwise), ``"numpy"``, or ``"compiled"``
+    #: (requires the ``[compiled]`` extra)
+    kernels: str = "auto"
     #: extra :class:`~repro.models.amcad.AMCADConfig` overrides
     overrides: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
@@ -124,7 +129,11 @@ class ModelConfig:
         if self.compute_plane not in COMPUTE_PLANES:
             raise ValueError("model.compute_plane must be one of %s, got %r"
                              % (", ".join(COMPUTE_PLANES), self.compute_plane))
-        reserved = {"num_subspaces", "subspace_dim", "seed", "compute_plane"}
+        if self.kernels not in KERNEL_MODES:
+            raise ValueError("model.kernels must be one of %s, got %r"
+                             % (", ".join(KERNEL_MODES), self.kernels))
+        reserved = {"num_subspaces", "subspace_dim", "seed", "compute_plane",
+                    "kernels"}
         if reserved & set(self.overrides):
             raise ValueError("set model.%s directly, not via model.overrides"
                              % "/".join(sorted(reserved & set(self.overrides))))

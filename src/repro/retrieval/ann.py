@@ -54,6 +54,12 @@ from repro.retrieval.quantization import _kmeans, assign_to_centroids
 #: (measured: same recall as width 4, ~25% higher queries/sec)
 _EXPAND_WIDTH = 8
 
+#: query rows scored per manifold re-rank block — bounds the ``(B, R, d)``
+#: candidate gather and its ``(B, R)`` scalar intermediates the same way
+#: ``ExactBackend``'s blocked merge bounds the exact scan, so a 100x
+#: catalog (larger ``R`` pools) cannot spike memory with the batch size
+_RERANK_BLOCK_ROWS = 512
+
 
 def tangent_projection(embeddings: List[np.ndarray],
                        kappas: List[float]) -> np.ndarray:
@@ -72,15 +78,28 @@ def tangent_projection(embeddings: List[np.ndarray],
 
 
 def candidate_dist(space: RelationSpace, src_indices: np.ndarray,
-                   cand_ids: np.ndarray, valid: np.ndarray) -> np.ndarray:
+                   cand_ids: np.ndarray, valid: np.ndarray,
+                   block_rows: int = 0) -> np.ndarray:
     """True mixed-metric distances for per-row candidate sets, ``(B, R)``.
 
     Mirrors the weighted per-subspace geodesic sum of
     :meth:`~repro.retrieval.mnn.MNNSearcher._score_block` on aligned
     ``(query, candidate)`` pairs instead of a full pairwise block;
-    invalid (padding) entries come back ``+inf``.
+    invalid (padding) entries come back ``+inf``.  ``block_rows > 0``
+    streams the query rows in blocks of that size, bounding the
+    ``(B, R, d)`` candidate gather at ``(block_rows, R, d)``; each
+    row's score is independent of the blocking, so the result is
+    identical either way.
     """
     src_indices = np.asarray(src_indices, dtype=np.int64)
+    if block_rows and 0 < block_rows < src_indices.shape[0]:
+        out = np.empty(cand_ids.shape)
+        for start in range(0, src_indices.shape[0], block_rows):
+            stop = min(start + block_rows, src_indices.shape[0])
+            out[start:stop] = candidate_dist(
+                space, src_indices[start:stop], cand_ids[start:stop],
+                valid[start:stop])
+        return out
     safe = np.where(valid, cand_ids, 0)
     src_w = space.src_weights[src_indices]                 # (B, M)
     total = np.zeros(cand_ids.shape)
@@ -128,7 +147,8 @@ def _rank_candidates(space: RelationSpace, src_indices: np.ndarray,
             valid = np.take_along_axis(valid, keep, axis=1)
             tangent_d2 = np.take_along_axis(tangent_d2, keep, axis=1)
     if manifold_rerank:
-        scores = candidate_dist(space, src_indices, cand, valid)
+        scores = candidate_dist(space, src_indices, cand, valid,
+                                block_rows=_RERANK_BLOCK_ROWS)
     else:
         scores = tangent_d2
     if same:

@@ -13,7 +13,7 @@ import pytest
 
 from repro.autodiff import ops
 from repro.autodiff.tensor import Parameter, Tensor
-from repro.geometry import fast
+from repro.geometry import fast, kernels
 from repro.geometry import stereographic as st
 from repro.graph.sampling import SampleBatch
 from repro.graph.schema import NodeType, Relation
@@ -282,7 +282,17 @@ KAPPAS = (-1.3, -0.4, 0.0, 1e-6, 0.7, 2.0)
 
 
 class TestFusedKernelGradcheck:
-    """Each fused kernel against its composed micro-op reference."""
+    """Each fused kernel against its composed micro-op reference.
+
+    Pinned to the numpy kernels: this class verifies the numpy
+    reference against the composed chain at 1e-12, while compiled-vs-
+    numpy parity has its own budget in ``tests/test_kernels.py``.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _numpy_kernels(self):
+        with kernels.use("numpy"):
+            yield
 
     @pytest.mark.parametrize("kappa", KAPPAS)
     @pytest.mark.parametrize("name,fused,composed", [
